@@ -1,0 +1,145 @@
+// Command logdump inspects a small database's disk directory: the version
+// files, checkpoints and redo logs of the paper's §3 protocol. It decodes
+// pickled data generically (no knowledge of the application's Go types), so
+// it works on any database this library wrote — the audit-trail reader the
+// paper's §4 gestures at ("the log files form a complete audit trail for
+// the database").
+//
+// Usage:
+//
+//	logdump -dir /var/lib/nsd               # summarize the directory
+//	logdump -dir /var/lib/nsd -log 3        # dump logfile3's entries
+//	logdump -dir /var/lib/nsd -checkpoint 3 # dump checkpoint3's contents
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smalldb/internal/checkpoint"
+	"smalldb/internal/pickle"
+	"smalldb/internal/vfs"
+	"smalldb/internal/wal"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "", "database directory (required)")
+		logV   = flag.Uint64("log", 0, "dump the entries of logfile<N>")
+		archV  = flag.Uint64("archive", 0, "dump the entries of archive-logfile<N> (§4 audit trail)")
+		cpV    = flag.Uint64("checkpoint", 0, "dump the contents of checkpoint<N>")
+		maxLen = flag.Int("max", 0, "dump at most this many log entries (0 = all)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "logdump: -dir is required")
+		os.Exit(2)
+	}
+	fs, err := vfs.NewOS(*dir)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	switch {
+	case *logV > 0:
+		dumpLogFile(fs, checkpoint.LogName(*logV), *maxLen)
+	case *archV > 0:
+		dumpLogFile(fs, checkpoint.ArchiveLogName(*archV), *maxLen)
+	case *cpV > 0:
+		dumpCheckpoint(fs, *cpV)
+	default:
+		summarize(fs)
+	}
+}
+
+func summarize(fs vfs.FS) {
+	names, err := fs.List()
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println("directory contents:")
+	for _, n := range names {
+		size, _ := fs.Stat(n)
+		fmt.Printf("  %-20s %8d bytes\n", n, size)
+	}
+	for _, vf := range []string{"version", "newversion"} {
+		if data, err := vfs.ReadFile(fs, vf); err == nil {
+			fmt.Printf("%s: %s\n", vf, strings.TrimSpace(string(data)))
+		}
+	}
+	// Count entries of each log (current and archived) without decoding
+	// payloads.
+	for _, n := range names {
+		if !strings.HasPrefix(n, "logfile") && !strings.HasPrefix(n, "archive-logfile") {
+			continue
+		}
+		start, ok, err := wal.FirstSeq(fs, n)
+		if err != nil || !ok {
+			fmt.Printf("%s: empty\n", n)
+			continue
+		}
+		entries := 0
+		var first, last uint64
+		wal.Replay(fs, n, start, wal.ReplayOptions{}, func(seq uint64, _ []byte) error {
+			if entries == 0 {
+				first = seq
+			}
+			last = seq
+			entries++
+			return nil
+		})
+		fmt.Printf("%s: %d entries (seq %d..%d)\n", n, entries, first, last)
+	}
+}
+
+func dumpLogFile(fs vfs.FS, name string, max int) {
+	start, ok, err := wal.FirstSeq(fs, name)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if !ok {
+		fmt.Printf("%s: empty\n", name)
+		return
+	}
+	n := 0
+	res, err := wal.Replay(fs, name, start, wal.ReplayOptions{}, func(seq uint64, payload []byte) error {
+		if max > 0 && n >= max {
+			return fmt.Errorf("stop")
+		}
+		n++
+		v, derr := pickle.NewDecoder(strings.NewReader(string(payload))).DecodeAny()
+		if derr != nil {
+			fmt.Printf("entry %d: %d bytes (undecodable: %v)\n", seq, len(payload), derr)
+			return nil
+		}
+		fmt.Printf("entry %d: %s\n", seq, pickle.Format(v))
+		return nil
+	})
+	if err != nil && !strings.Contains(err.Error(), "stop") {
+		fatal("replaying %s: %v", name, err)
+	}
+	if res.Truncated {
+		fmt.Printf("(torn tail entry discarded at offset %d)\n", res.GoodSize)
+	}
+}
+
+func dumpCheckpoint(fs vfs.FS, v uint64) {
+	name := checkpoint.CheckpointName(v)
+	f, err := fs.Open(name)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+	val, err := pickle.NewDecoder(f).DecodeAny()
+	if err != nil {
+		fatal("decoding %s: %v", name, err)
+	}
+	fmt.Printf("%s:\n%s\n", name, pickle.Format(val))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "logdump: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command nsctl is the name-server client: the browsing and modification
+// user interface of the paper's §6, speaking the RPC protocol to an nsd.
+//
+// Usage:
+//
+//	nsctl -addr localhost:7001 set net/hosts/gva 16.4.0.1
+//	nsctl -addr localhost:7001 lookup net/hosts/gva
+//	nsctl -addr localhost:7001 list net/hosts
+//	nsctl -addr localhost:7001 enumerate net
+//	nsctl -addr localhost:7001 delete net/hosts/gva
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smalldb/internal/nameserver"
+	"smalldb/internal/rpc"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: nsctl -addr host:port <command> [args]
+
+commands:
+  lookup <name>            print the value bound to name
+  set <name> <value>       bind value to name
+  delete <name>            remove name and its subtree
+  list <name>              print the child labels under name
+  enumerate <name>         print every name=value at or below name
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7001", "name server address")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	client, err := rpc.Dial(*addr)
+	if err != nil {
+		fatal("dial %s: %v", *addr, err)
+	}
+	defer client.Close()
+
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "lookup":
+		need(rest, 1)
+		var reply nameserver.LookupReply
+		if err := client.Call("NS.Lookup", &nameserver.LookupArgs{Name: rest[0]}, &reply); err != nil {
+			fatal("lookup: %v", err)
+		}
+		fmt.Println(reply.Value)
+	case "set":
+		need(rest, 2)
+		if err := client.Call("NS.Set", &nameserver.SetArgs{Name: rest[0], Value: rest[1]}, &nameserver.SetReply{}); err != nil {
+			fatal("set: %v", err)
+		}
+	case "delete":
+		need(rest, 1)
+		if err := client.Call("NS.Delete", &nameserver.DeleteArgs{Name: rest[0]}, &nameserver.DeleteReply{}); err != nil {
+			fatal("delete: %v", err)
+		}
+	case "list":
+		need(rest, 1)
+		var reply nameserver.ListReply
+		if err := client.Call("NS.List", &nameserver.ListArgs{Name: rest[0]}, &reply); err != nil {
+			fatal("list: %v", err)
+		}
+		for _, l := range reply.Labels {
+			fmt.Println(l)
+		}
+	case "enumerate":
+		need(rest, 1)
+		var reply nameserver.EnumerateReply
+		if err := client.Call("NS.Enumerate", &nameserver.EnumerateArgs{Name: rest[0]}, &reply); err != nil {
+			fatal("enumerate: %v", err)
+		}
+		for i, n := range reply.Names {
+			fmt.Printf("%s=%s\n", n, reply.Values[i])
+		}
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		usage()
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "nsctl: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command nsd is the name-server daemon: the paper's worked example as a
+// running network service. It stores its database (checkpoint + log) in a
+// directory, serves enquiries and updates over the RPC protocol, and
+// optionally replicates to peer daemons.
+//
+// Usage:
+//
+//	nsd -dir /var/lib/nsd -listen :7001
+//	nsd -dir /var/lib/nsd2 -listen :7002 -name beta -peers alpha=localhost:7001
+//
+// Without -name, the daemon runs unreplicated and serves the "NS" service.
+// With -name, it additionally serves the "Replica" service, pushes updates
+// to its peers, and runs anti-entropy every -anti-entropy interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"smalldb/internal/nameserver"
+	"smalldb/internal/replica"
+	"smalldb/internal/rpc"
+	"smalldb/internal/vfs"
+)
+
+func main() {
+	var (
+		dir         = flag.String("dir", "", "database directory (required)")
+		listen      = flag.String("listen", ":7001", "RPC listen address")
+		name        = flag.String("name", "", "replica name; enables replication")
+		peers       = flag.String("peers", "", "comma-separated name=addr peer list")
+		checkpoint  = flag.Duration("checkpoint", 24*time.Hour, "checkpoint interval (the paper's nightly checkpoint)")
+		antiEntropy = flag.Duration("anti-entropy", time.Minute, "anti-entropy interval (replicated mode)")
+		retain      = flag.Int("retain", 1, "previous checkpoint+log pairs kept for hard-error recovery")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "nsd: -dir is required")
+		os.Exit(2)
+	}
+
+	fs, err := vfs.NewOS(*dir)
+	if err != nil {
+		log.Fatalf("nsd: %v", err)
+	}
+
+	srv := rpc.NewServer()
+	var closer interface{ Close() error }
+
+	if *name == "" {
+		ns, err := nameserver.Open(nameserver.Config{FS: fs, Retain: *retain})
+		if err != nil {
+			log.Fatalf("nsd: open: %v", err)
+		}
+		ns.CheckpointEvery(*checkpoint)
+		if err := srv.Register("NS", nameserver.NewRPCService(ns)); err != nil {
+			log.Fatalf("nsd: %v", err)
+		}
+		closer = ns
+		log.Printf("nsd: serving %s (unreplicated) on %s", *dir, *listen)
+	} else {
+		node, err := replica.Open(replica.Config{Name: *name, FS: fs, Retain: *retain})
+		if err != nil {
+			log.Fatalf("nsd: open replica: %v", err)
+		}
+		node.Store().CheckpointEvery(*checkpoint)
+		if err := srv.Register("Replica", replica.NewService(node)); err != nil {
+			log.Fatalf("nsd: %v", err)
+		}
+		if err := srv.Register("NS", replicaNS{node}); err != nil {
+			log.Fatalf("nsd: %v", err)
+		}
+		for _, spec := range splitPeers(*peers) {
+			pname, addr, ok := strings.Cut(spec, "=")
+			if !ok {
+				log.Fatalf("nsd: bad -peers entry %q (want name=addr)", spec)
+			}
+			go connectPeer(node, pname, addr)
+		}
+		node.AntiEntropyEvery(*antiEntropy)
+		closer = node
+		log.Printf("nsd: serving %s as replica %q on %s", *dir, *name, *listen)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("nsd: listen: %v", err)
+	}
+	go func() {
+		if err := srv.Serve(l); err != nil {
+			log.Printf("nsd: serve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("nsd: shutting down")
+	srv.Close()
+	if err := closer.Close(); err != nil {
+		log.Printf("nsd: close: %v", err)
+	}
+}
+
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// connectPeer dials a peer with retry and registers it on the node.
+func connectPeer(node *replica.Node, name, addr string) {
+	for {
+		client, err := rpc.Dial(addr)
+		if err == nil {
+			node.AddPeer(name, client)
+			log.Printf("nsd: connected to peer %s at %s", name, addr)
+			return
+		}
+		time.Sleep(2 * time.Second)
+	}
+}
+
+// replicaNS adapts a replica node to the NS RPC service so clients can use
+// the same nsctl against replicated and unreplicated daemons.
+type replicaNS struct {
+	node *replica.Node
+}
+
+// Lookup serves the remote enquiry.
+func (r replicaNS) Lookup(args *nameserver.LookupArgs, reply *nameserver.LookupReply) error {
+	v, err := r.node.Lookup(args.Name)
+	reply.Value = v
+	return err
+}
+
+// Set serves the remote update.
+func (r replicaNS) Set(args *nameserver.SetArgs, reply *nameserver.SetReply) error {
+	return r.node.Set(args.Name, args.Value)
+}
+
+// Delete serves the remote delete.
+func (r replicaNS) Delete(args *nameserver.DeleteArgs, reply *nameserver.DeleteReply) error {
+	return r.node.Delete(args.Name)
+}

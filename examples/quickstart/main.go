@@ -1,0 +1,122 @@
+// Quickstart: the smallest complete smalldb program.
+//
+// It defines a one-table database (name → e-mail address), opens a store in
+// a temporary directory, applies a few single-shot updates (each one disk
+// write), reads them back from memory, restarts the store to show recovery,
+// and finally checkpoints.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"smalldb"
+)
+
+// AddressBook is the entire database: an ordinary Go data structure.
+type AddressBook struct {
+	Emails map[string]string
+}
+
+// AddEntry is a single-shot transaction.
+type AddEntry struct {
+	Name, Email string
+}
+
+// Verify checks preconditions under the update lock (readers still active).
+func (u *AddEntry) Verify(root any) error {
+	if u.Name == "" {
+		return errors.New("empty name")
+	}
+	if _, exists := root.(*AddressBook).Emails[u.Name]; exists {
+		return fmt.Errorf("%s already has an entry", u.Name)
+	}
+	return nil
+}
+
+// Apply mutates under the exclusive lock, after the update is on disk.
+func (u *AddEntry) Apply(root any) error {
+	root.(*AddressBook).Emails[u.Name] = u.Email
+	return nil
+}
+
+func init() {
+	smalldb.Register(&AddressBook{})
+	smalldb.RegisterUpdate(&AddEntry{})
+}
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "smalldb-quickstart")
+	defer os.RemoveAll(dir)
+	fs, err := smalldb.NewDirFS(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := smalldb.Config{
+		FS:      fs,
+		NewRoot: func() any { return &AddressBook{Emails: map[string]string{}} },
+		Retain:  1, // keep one previous checkpoint for hard-error recovery
+	}
+	st, err := smalldb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Updates: verified, logged (the commit point — one disk write),
+	// then applied in memory.
+	for _, e := range []AddEntry{
+		{"birrell", "birrell@src.dec.com"},
+		{"jones", "jones@cs.cmu.edu"},
+		{"wobber", "wobber@src.dec.com"},
+	} {
+		e := e
+		if err := st.Apply(&e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// A precondition failure never reaches the disk.
+	if err := st.Apply(&AddEntry{Name: "jones", Email: "dup@example.com"}); err != nil {
+		fmt.Println("rejected as expected:", err)
+	}
+
+	// Enquiries: pure virtual memory, no disk at all.
+	st.View(func(root any) error {
+		book := root.(*AddressBook)
+		fmt.Printf("%d entries; wobber = %s\n", len(book.Emails), book.Emails["wobber"])
+		return nil
+	})
+
+	// Restart: recovery = read checkpoint + replay log.
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+	st, err = smalldb.Open(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	stats := st.Stats()
+	fmt.Printf("recovered by replaying %d log entries\n", stats.RestartEntries)
+
+	// A checkpoint bounds the next restart: it pickles the whole
+	// database and empties the log.
+	if err := st.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint written; version %d, log now empty (%d bytes)\n",
+		st.Version(), st.Stats().LogBytes)
+
+	st.View(func(root any) error {
+		fmt.Printf("still have %d entries after restart + checkpoint\n",
+			len(root.(*AddressBook).Emails))
+		return nil
+	})
+}

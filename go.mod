@@ -1,0 +1,3 @@
+module smalldb
+
+go 1.22

@@ -1,0 +1,60 @@
+// Package adhoc is the paper's second §2 baseline: the "ad hoc schemes,
+// involving a custom designed data representation in a disk file, and
+// specialized code for accessing and modifying the data. Typical read
+// accesses involve perusing a small number of directly accessed pages from
+// the disk ... updates are typically performed by overwriting existing data
+// in place. This leaves the database quite vulnerable to transient errors."
+//
+// It is a thin veneer over the slotfile substrate: one direct page write
+// per update — fast, matching the paper's "performance ... generally quite
+// good for updates, requiring typically one disk write per update" — and no
+// recovery story at all, which the reliability experiment (E9's baseline
+// leg) makes visible.
+package adhoc
+
+import (
+	"smalldb/internal/baseline/slotfile"
+	"smalldb/internal/vfs"
+)
+
+// DB is an ad-hoc paged database.
+type DB struct {
+	sf *slotfile.File
+}
+
+// DefaultSlots sizes a fresh database file.
+const DefaultSlots = 1024
+
+// Open opens (or creates) the database in the named file.
+func Open(fs vfs.FS, name string) (*DB, error) {
+	if vfs.Exists(fs, name) {
+		sf, err := slotfile.Open(fs, name)
+		if err != nil {
+			return nil, err
+		}
+		return &DB{sf: sf}, nil
+	}
+	sf, err := slotfile.Create(fs, name, DefaultSlots)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{sf: sf}, nil
+}
+
+// Lookup reads key's value with direct page access.
+func (db *DB) Lookup(key string) (string, bool, error) { return db.sf.Lookup(key) }
+
+// Update overwrites key's record in place: one disk write.
+func (db *DB) Update(key, value string) error { return db.sf.Put(key, value) }
+
+// Delete tombstones key's record in place: one disk write.
+func (db *DB) Delete(key string) error {
+	_, err := db.sf.Delete(key)
+	return err
+}
+
+// All returns every record.
+func (db *DB) All() (map[string]string, error) { return db.sf.All() }
+
+// Close closes the file.
+func (db *DB) Close() error { return db.sf.Close() }

@@ -1,0 +1,56 @@
+package adhoc
+
+import (
+	"fmt"
+	"testing"
+
+	"smalldb/internal/vfs"
+)
+
+func TestBasicAndReopen(t *testing.T) {
+	fs := vfs.NewMem(1)
+	db, err := Open(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := db.Update(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Delete("k7")
+	db.Close()
+
+	db2, err := Open(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, ok, _ := db2.Lookup("k3"); !ok || v != "v3" {
+		t.Errorf("k3: %q %v", v, ok)
+	}
+	if _, ok, _ := db2.Lookup("k7"); ok {
+		t.Error("deleted key survived")
+	}
+	all, _ := db2.All()
+	if len(all) != 29 {
+		t.Errorf("records: %d", len(all))
+	}
+}
+
+func TestOneSyncPerUpdate(t *testing.T) {
+	// The ad-hoc baseline's defining cost: one disk write per update.
+	fs := vfs.NewMem(1)
+	db, err := Open(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	syncs := 0
+	fs.FailSync = func(string) error { syncs++; return nil }
+	before := syncs
+	db.Update("k", "v")
+	if got := syncs - before; got != 1 {
+		t.Errorf("update cost %d syncs, want 1", got)
+	}
+}

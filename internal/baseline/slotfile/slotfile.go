@@ -1,0 +1,339 @@
+// Package slotfile is the "custom designed data representation in a disk
+// file" underlying the paper's §2 ad-hoc baseline: fixed-size record slots
+// addressed by an open-addressing hash of the key, read and written in
+// place with direct page access. On its own it provides no crash safety at
+// all — exactly the property §2 criticizes ("updates are typically
+// performed by overwriting existing data in place. This leaves the database
+// quite vulnerable to transient errors") — and the reliability experiments
+// exercise that weakness. The twophase baseline layers a redo log on top to
+// repair it at the cost of a second disk write.
+package slotfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"smalldb/internal/vfs"
+)
+
+// SlotSize is the fixed on-disk size of one record slot. A slot holds
+// [state:1][klen:1][vlen:2][key][value] padded to SlotSize.
+const SlotSize = 256
+
+// slot states.
+const (
+	slotFree      byte = 0
+	slotUsed      byte = 1
+	slotTombstone byte = 2
+)
+
+// header is the file preamble: magic, slot count.
+const headerSize = 16
+
+var magic = [4]byte{'S', 'L', 'O', 'T'}
+
+// MaxKeyLen and MaxValueLen bound what fits in one slot.
+const (
+	MaxKeyLen   = 64
+	MaxValueLen = SlotSize - 4 - MaxKeyLen
+)
+
+// ErrFull is returned when the table cannot admit another record and
+// growing is disabled.
+var ErrFull = errors.New("slotfile: table full")
+
+// ErrTooLarge is returned for keys or values exceeding a slot.
+var ErrTooLarge = errors.New("slotfile: record exceeds slot size")
+
+// File is an open slot file.
+type File struct {
+	mu    sync.Mutex
+	fs    vfs.FS
+	name  string
+	f     vfs.File
+	slots int
+	used  int
+	// NoSync suppresses the per-write sync; the twophase baseline syncs
+	// explicitly at its own commit points.
+	NoSync bool
+}
+
+// Create creates a slot file with the given slot count.
+func Create(fs vfs.FS, name string, slots int) (*File, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("slotfile: slot count %d", slots)
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(slots))
+	if _, err := f.WriteAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(headerSize + int64(slots)*SlotSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{fs: fs, name: name, f: f, slots: slots}, nil
+}
+
+// Open opens an existing slot file.
+func Open(fs vfs.FS, name string) (*File, error) {
+	f, err := fs.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil && err != io.EOF {
+		f.Close()
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("slotfile: %s is not a slot file", name)
+	}
+	slots := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	sf := &File{fs: fs, name: name, f: f, slots: slots}
+	// Count used slots for occupancy accounting.
+	for i := 0; i < slots; i++ {
+		s, _, _, err := sf.readSlot(i)
+		if err != nil {
+			continue // damaged slot: counted as free; reads will fail there
+		}
+		if s == slotUsed {
+			sf.used++
+		}
+	}
+	return sf, nil
+}
+
+func (sf *File) slotOffset(i int) int64 { return headerSize + int64(i)*SlotSize }
+
+func hashKey(key string) uint32 {
+	h := fnv.New32a()
+	io.WriteString(h, key)
+	return h.Sum32()
+}
+
+// readSlot reads slot i, returning its state, key and value.
+func (sf *File) readSlot(i int) (state byte, key, value string, err error) {
+	var buf [SlotSize]byte
+	if _, err := sf.f.ReadAt(buf[:], sf.slotOffset(i)); err != nil && err != io.EOF {
+		return 0, "", "", err
+	}
+	state = buf[0]
+	if state != slotUsed {
+		return state, "", "", nil
+	}
+	klen := int(buf[1])
+	vlen := int(binary.LittleEndian.Uint16(buf[2:4]))
+	if klen > MaxKeyLen || 4+klen+vlen > SlotSize {
+		return 0, "", "", fmt.Errorf("slotfile: slot %d corrupt", i)
+	}
+	return state, string(buf[4 : 4+klen]), string(buf[4+klen : 4+klen+vlen]), nil
+}
+
+// writeSlot writes slot i in place — one direct page write.
+func (sf *File) writeSlot(i int, state byte, key, value string) error {
+	var buf [SlotSize]byte
+	buf[0] = state
+	if state == slotUsed {
+		buf[1] = byte(len(key))
+		binary.LittleEndian.PutUint16(buf[2:4], uint16(len(value)))
+		copy(buf[4:], key)
+		copy(buf[4+len(key):], value)
+	}
+	if _, err := sf.f.WriteAt(buf[:], sf.slotOffset(i)); err != nil {
+		return err
+	}
+	if sf.NoSync {
+		return nil
+	}
+	return sf.f.Sync()
+}
+
+// findSlot probes for key. It returns the slot holding key (found=true), or
+// the first insertable slot (found=false).
+func (sf *File) findSlot(key string) (idx int, found bool, err error) {
+	start := int(hashKey(key) % uint32(sf.slots))
+	insert := -1
+	for probe := 0; probe < sf.slots; probe++ {
+		i := (start + probe) % sf.slots
+		state, k, _, err := sf.readSlot(i)
+		if err != nil {
+			return 0, false, err
+		}
+		switch state {
+		case slotUsed:
+			if k == key {
+				return i, true, nil
+			}
+		case slotTombstone:
+			if insert < 0 {
+				insert = i
+			}
+		default: // free: end of probe chain
+			if insert < 0 {
+				insert = i
+			}
+			return insert, false, nil
+		}
+	}
+	if insert >= 0 {
+		return insert, false, nil
+	}
+	return 0, false, ErrFull
+}
+
+// Lookup reads the value for key directly from the disk pages (the §2
+// baseline's "perusing a small number of directly accessed pages").
+func (sf *File) Lookup(key string) (string, bool, error) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	i, found, err := sf.findSlot(key)
+	if err != nil || !found {
+		return "", false, err
+	}
+	_, _, v, err := sf.readSlot(i)
+	if err != nil {
+		return "", false, err
+	}
+	return v, true, nil
+}
+
+// Put writes key=value in place: typically one disk write, the §2 ad-hoc
+// baseline's characteristic cost. It grows (rehashing the whole file — a
+// multi-page update, and exactly the crash hazard §2 warns about) when
+// occupancy passes 70%.
+func (sf *File) Put(key, value string) error {
+	if len(key) > MaxKeyLen || len(key) == 0 || len(value) > MaxValueLen {
+		return ErrTooLarge
+	}
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.putLocked(key, value)
+}
+
+func (sf *File) putLocked(key, value string) error {
+	if (sf.used+1)*10 > sf.slots*7 {
+		if err := sf.growLocked(); err != nil {
+			return err
+		}
+	}
+	i, found, err := sf.findSlot(key)
+	if err != nil {
+		return err
+	}
+	if err := sf.writeSlot(i, slotUsed, key, value); err != nil {
+		return err
+	}
+	if !found {
+		sf.used++
+	}
+	return nil
+}
+
+// Delete removes key (one in-place write of a tombstone).
+func (sf *File) Delete(key string) (bool, error) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	i, found, err := sf.findSlot(key)
+	if err != nil || !found {
+		return false, err
+	}
+	if err := sf.writeSlot(i, slotTombstone, "", ""); err != nil {
+		return false, err
+	}
+	sf.used--
+	return true, nil
+}
+
+// All returns every record; used by tests and the text-file comparison.
+func (sf *File) All() (map[string]string, error) {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	out := make(map[string]string, sf.used)
+	for i := 0; i < sf.slots; i++ {
+		state, k, v, err := sf.readSlot(i)
+		if err != nil {
+			return nil, err
+		}
+		if state == slotUsed {
+			out[k] = v
+		}
+	}
+	return out, nil
+}
+
+// growLocked doubles the table by rewriting every record into a new file
+// and renaming it into place. The rename makes growth itself atomic, but
+// the paper's point stands for the simpler in-place variants this models.
+func (sf *File) growLocked() error {
+	tmp := sf.name + ".grow"
+	bigger, err := Create(sf.fs, tmp, sf.slots*2)
+	if err != nil {
+		return err
+	}
+	bigger.NoSync = true
+	for i := 0; i < sf.slots; i++ {
+		state, k, v, err := sf.readSlot(i)
+		if err != nil {
+			bigger.Close()
+			return err
+		}
+		if state == slotUsed {
+			if err := bigger.putLocked(k, v); err != nil {
+				bigger.Close()
+				return err
+			}
+		}
+	}
+	bigger.NoSync = sf.NoSync
+	if err := bigger.f.Sync(); err != nil {
+		bigger.Close()
+		return err
+	}
+	if err := sf.fs.Rename(tmp, sf.name); err != nil {
+		bigger.Close()
+		return err
+	}
+	old := sf.f
+	sf.f = bigger.f
+	sf.slots = bigger.slots
+	sf.used = bigger.used
+	old.Close()
+	return nil
+}
+
+// Sync flushes the file.
+func (sf *File) Sync() error {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.f.Sync()
+}
+
+// Used reports the number of live records.
+func (sf *File) Used() int {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.used
+}
+
+// Close closes the file.
+func (sf *File) Close() error {
+	sf.mu.Lock()
+	defer sf.mu.Unlock()
+	return sf.f.Close()
+}

@@ -1,0 +1,162 @@
+// Package textfile is the paper's first §2 baseline: the Unix way, where
+// "almost all databases are stored as ordinary text files (for example,
+// /etc/passwd ...). Whenever a program wishes to access the data it does so
+// by reading and parsing the file ... An update involves rewriting the
+// entire file", made safe against transient errors "by using an atomic file
+// rename operation to install a new version of the file".
+//
+// Records are "key<TAB>quoted-value" lines. Every Lookup re-reads and
+// re-parses the whole file; every update rewrites it completely, syncs, and
+// renames into place. Updates are serialized by an internal lock, the
+// package's stand-in for the administrator's "exclusive lock prior to
+// editing the file". The performance consequences — update cost linear in
+// database size — are what experiment E6 demonstrates.
+package textfile
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"smalldb/internal/vfs"
+)
+
+// DB is a text-file database.
+type DB struct {
+	mu   sync.Mutex
+	fs   vfs.FS
+	name string
+}
+
+// Open returns a DB stored in the named file, creating it empty if absent.
+func Open(fs vfs.FS, name string) (*DB, error) {
+	db := &DB{fs: fs, name: name}
+	if !vfs.Exists(fs, name) {
+		if err := db.writeAll(map[string]string{}); err != nil {
+			return nil, err
+		}
+	}
+	// Validate by parsing once.
+	if _, err := db.readAll(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// readAll reads and parses the entire file — the cost of every access.
+func (db *DB) readAll() (map[string]string, error) {
+	data, err := vfs.ReadFile(db.fs, db.name)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, quoted, ok := strings.Cut(text, "\t")
+		if !ok {
+			return nil, fmt.Errorf("textfile: %s:%d: no separator", db.name, line)
+		}
+		val, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("textfile: %s:%d: bad value: %v", db.name, line, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// writeAll rewrites the whole file and installs it with an atomic rename.
+func (db *DB) writeAll(records map[string]string) error {
+	var buf bytes.Buffer
+	buf.WriteString("# textfile database; do not hand-edit while the server runs\n")
+	keys := make([]string, 0, len(records))
+	for k := range records {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&buf, "%s\t%s\n", k, strconv.Quote(records[k]))
+	}
+	tmp := db.name + ".new"
+	if err := vfs.WriteFile(db.fs, tmp, buf.Bytes()); err != nil {
+		return err
+	}
+	return db.fs.Rename(tmp, db.name)
+}
+
+func validKey(key string) error {
+	if key == "" || strings.ContainsAny(key, "\t\n") {
+		return fmt.Errorf("textfile: invalid key %q", key)
+	}
+	return nil
+}
+
+// Lookup reads the value for key by parsing the whole file.
+func (db *DB) Lookup(key string) (string, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	records, err := db.readAll()
+	if err != nil {
+		return "", false, err
+	}
+	v, ok := records[key]
+	return v, ok, nil
+}
+
+// Update sets key=value by rewriting the entire file.
+func (db *DB) Update(key, value string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	records, err := db.readAll()
+	if err != nil {
+		return err
+	}
+	records[key] = value
+	return db.writeAll(records)
+}
+
+// Delete removes key by rewriting the entire file.
+func (db *DB) Delete(key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	records, err := db.readAll()
+	if err != nil {
+		return err
+	}
+	if _, ok := records[key]; !ok {
+		return fmt.Errorf("textfile: no such key %q", key)
+	}
+	delete(records, key)
+	return db.writeAll(records)
+}
+
+// All returns every record.
+func (db *DB) All() (map[string]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.readAll()
+}
+
+// Close releases nothing (the DB holds no open handles between calls) but
+// completes the common store interface.
+func (db *DB) Close() error { return nil }

@@ -1,0 +1,116 @@
+package textfile
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"smalldb/internal/vfs"
+)
+
+func open(t *testing.T, fs vfs.FS) *DB {
+	t.Helper()
+	db, err := Open(fs, "passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBasicOps(t *testing.T) {
+	db := open(t, vfs.NewMem(1))
+	if err := db.Update("amy", "uid=1001"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Lookup("amy")
+	if err != nil || !ok || v != "uid=1001" {
+		t.Fatalf("got %q %v %v", v, ok, err)
+	}
+	if err := db.Delete("amy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Lookup("amy"); ok {
+		t.Error("deleted key found")
+	}
+	if err := db.Delete("amy"); err == nil {
+		t.Error("delete of missing key succeeded")
+	}
+}
+
+func TestValuesWithSpecialCharacters(t *testing.T) {
+	db := open(t, vfs.NewMem(1))
+	nasty := "line1\nline2\ttabbed \"quoted\" \x00 bytes"
+	if err := db.Update("k", nasty); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := db.Lookup("k")
+	if !ok || v != nasty {
+		t.Errorf("got %q", v)
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	db := open(t, vfs.NewMem(1))
+	for _, k := range []string{"", "a\tb", "a\nb"} {
+		if err := db.Update(k, "v"); err == nil {
+			t.Errorf("key %q accepted", k)
+		}
+	}
+}
+
+func TestDurableViaRename(t *testing.T) {
+	fs := vfs.NewMem(1)
+	db := open(t, fs)
+	db.Update("k1", "v1")
+	db.Update("k2", "v2")
+	fs.Crash()
+	db2 := open(t, fs)
+	if v, ok, _ := db2.Lookup("k1"); !ok || v != "v1" {
+		t.Errorf("k1 lost: %q %v", v, ok)
+	}
+	all, _ := db2.All()
+	if len(all) != 2 {
+		t.Errorf("records: %v", all)
+	}
+}
+
+func TestHumanReadableFormat(t *testing.T) {
+	fs := vfs.NewMem(1)
+	db := open(t, fs)
+	db.Update("host", "16.4.0.1")
+	data, err := vfs.ReadFile(fs, "passwd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "host\t\"16.4.0.1\"") {
+		t.Errorf("file not human-readable: %q", data)
+	}
+}
+
+func TestWholeFileRewrittenPerUpdate(t *testing.T) {
+	// The defining cost of this baseline: file size scales with the
+	// database, and every update rewrites all of it.
+	fs := vfs.NewMem(1)
+	db := open(t, fs)
+	for i := 0; i < 100; i++ {
+		db.Update(fmt.Sprintf("user%03d", i), strings.Repeat("x", 50))
+	}
+	size, _ := fs.Stat("passwd")
+	if size < 100*50 {
+		t.Errorf("file suspiciously small: %d", size)
+	}
+}
+
+func TestManyRecordsSurviveRestart(t *testing.T) {
+	fs := vfs.NewMem(1)
+	db := open(t, fs)
+	for i := 0; i < 50; i++ {
+		db.Update(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	db.Close()
+	db2 := open(t, fs)
+	all, err := db2.All()
+	if err != nil || len(all) != 50 {
+		t.Fatalf("got %d records, %v", len(all), err)
+	}
+}

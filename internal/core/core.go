@@ -1,0 +1,780 @@
+// Package core is the paper's contribution: a small-database engine that
+// keeps the entire database as an ordinary strongly typed data structure in
+// virtual memory, records each update incrementally in a redo log on disk,
+// and occasionally checkpoints the whole structure — recovering from
+// crashes by reloading the checkpoint and replaying the log (§3).
+//
+// The shape of every operation follows the paper:
+//
+//   - An enquiry (View) is purely a lookup in the virtual memory structure
+//     under a shared lock; the disk is not involved.
+//   - An update (Apply) proceeds in three steps under the three-mode lock:
+//     (1) verify preconditions against the in-memory data under the update
+//     lock; (2) pickle the update's parameters and append them to the log —
+//     the disk write that is the commit point — still under the update lock,
+//     so enquiries keep running; (3) upgrade to exclusive and apply the
+//     mutation to the in-memory structure.
+//   - A checkpoint (Checkpoint) pickles the entire root under the update
+//     lock and installs it with the version-file protocol, then starts an
+//     empty log.
+//   - Open recovers: find the current checkpoint, load it, replay the log.
+//
+// The database root and every update type are ordinary Go values; the
+// pickle package converts them to and from bytes, so — as the paper says of
+// its name server — there is "no manually written code for casting values
+// into low level disk or network bit patterns".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smalldb/internal/checkpoint"
+	"smalldb/internal/pickle"
+	"smalldb/internal/sulock"
+	"smalldb/internal/vfs"
+	"smalldb/internal/wal"
+)
+
+// An Update is a single-shot transaction: all of its parameters are
+// gathered before it commits, and no intermediate state is ever visible
+// (§1: "there are no update transactions composed of multiple client
+// actions").
+//
+// Concrete update types must be exported structs registered with
+// RegisterUpdate so they can be pickled into log entries; their exported
+// fields are the update's parameters. Fields computed by Verify for Apply's
+// use should be tagged `pickle:"-"`.
+type Update interface {
+	// Verify checks the update's preconditions (consistency invariants,
+	// access controls) against the database root. It runs under the
+	// update lock — concurrent enquiries are active — and must not
+	// mutate anything.
+	Verify(root any) error
+	// Apply performs the mutation. It runs under the exclusive lock,
+	// after the update has committed to the log, and during replay. It
+	// must succeed on any state on which Verify succeeded; an error here
+	// is a programming bug that poisons the store (the log and memory
+	// now disagree).
+	Apply(root any) error
+}
+
+// RegisterUpdate registers an update type for pickling, under the type's
+// canonical name. Every update type must be registered by both writers and
+// recoverers (init functions are the natural place).
+func RegisterUpdate(u Update) { pickle.Register(u) }
+
+// logRecord is the pickled form of one log entry: the update in an
+// interface field, so the concrete type travels with it.
+type logRecord struct {
+	U Update
+}
+
+// Config configures a Store.
+type Config struct {
+	// FS is the directory holding the checkpoint and log files.
+	FS vfs.FS
+	// NewRoot creates an empty database root; used when the directory is
+	// uninitialized. The root's concrete type must be registered with
+	// pickle.Register.
+	NewRoot func() any
+	// Retain is how many previous checkpoint+log pairs to keep for
+	// hard-error recovery (§4). 0 reproduces the paper's base protocol.
+	Retain int
+	// GroupCommit releases the locks before waiting for the log disk
+	// write, letting concurrent updates share one disk write (§5: "the
+	// only schemes that will perform better than this involve arranging
+	// to record multiple commit records in a single log entry").
+	// Tradeoff: an enquiry may observe an update that a crash then
+	// erases, because the in-memory apply precedes durability; the
+	// updating client itself still only hears success after the sync.
+	GroupCommit bool
+	// CoarseLocking is the E8 ablation: hold the exclusive lock for the
+	// whole update, disk write included, to measure what the paper's
+	// three-mode matrix buys.
+	CoarseLocking bool
+	// SkipDamagedLogEntries makes recovery hop over unreadable log
+	// entries instead of failing, for applications whose updates are
+	// independent (§4).
+	SkipDamagedLogEntries bool
+	// MaxLogBytes, when > 0, triggers an automatic checkpoint after an
+	// update leaves the log larger than this.
+	MaxLogBytes int64
+	// MaxLogEntries, when > 0, triggers an automatic checkpoint after
+	// the log holds more than this many entries.
+	MaxLogEntries int64
+	// ArchiveLogs keeps every log as archive-logfileN when its version
+	// is superseded, instead of deleting it — the §4 audit trail. The
+	// History method replays it.
+	ArchiveLogs bool
+	// UnsafeNoSync skips the sync on every log append: there is no
+	// commit point, and a crash can lose acknowledged updates. It exists
+	// only as an ablation (E5/E9) quantifying what the paper's one disk
+	// write per update buys and costs.
+	UnsafeNoSync bool
+}
+
+// Stats is a snapshot of the store's cumulative instrumentation. The phase
+// timers decompose an update exactly as the paper's §5 does: exploring the
+// structure (verify), converting parameters to bits (pickle), the disk
+// write of the log entry (commit), and modifying the structure (apply).
+type Stats struct {
+	Enquiries   uint64
+	Updates     uint64
+	Checkpoints uint64
+
+	VerifyTime time.Duration
+	PickleTime time.Duration
+	CommitTime time.Duration
+	ApplyTime  time.Duration
+
+	CheckpointPickleTime time.Duration
+	CheckpointIOTime     time.Duration
+
+	RestartCheckpointTime time.Duration
+	RestartReplayTime     time.Duration
+	RestartEntries        int
+	RestartSkippedDamaged int
+	RestartTornTail       bool
+	RestartUsedFallback   bool
+
+	LogBytes   int64
+	LogEntries int64
+	AppliedSeq uint64
+}
+
+// Store is an open small database.
+type Store struct {
+	cfg  Config
+	lock sulock.Lock
+
+	// root is guarded by lock (shared for reads, exclusive for writes).
+	root any
+
+	// mu guards the fields below (log/checkpoint administration).
+	mu         sync.Mutex
+	log        *wal.Log
+	cpState    checkpoint.State
+	applied    uint64 // sequence of the last update applied to root
+	logEntries int64
+	poisoned   error
+	closed     bool
+
+	checkpointing atomic.Bool // auto-checkpoint in flight
+
+	statMu sync.Mutex
+	stats  Stats
+
+	stopTimer chan struct{}
+	timerWG   sync.WaitGroup
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("core: store is closed")
+
+// header is the first value in every checkpoint file: the sequence number
+// the log that accompanies the checkpoint starts at, then the root.
+type header struct {
+	NextSeq uint64
+	Root    any
+}
+
+// Open recovers a store from cfg.FS, initializing an empty database if the
+// directory is virgin. The recovery sequence is the paper's: determine the
+// current checkpoint (discarding partial ones), read it, replay the log.
+func Open(cfg Config) (*Store, error) {
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("core: Config.FS is required")
+	}
+	if cfg.NewRoot == nil {
+		return nil, fmt.Errorf("core: Config.NewRoot is required")
+	}
+	s := &Store{cfg: cfg}
+
+	st, err := checkpoint.RecoverWith(cfg.FS, s.cpOpts())
+	if errors.Is(err, checkpoint.ErrNotInitialized) {
+		return s.initFresh()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.load(st); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) initFresh() (*Store, error) {
+	root := s.cfg.NewRoot()
+	st, err := checkpoint.Init(s.cfg.FS, func(w io.Writer) error {
+		return pickle.Write(w, &header{NextSeq: 1, Root: root})
+	})
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(s.cfg.FS, st.LogName(), 1, s.walOpts())
+	if err != nil {
+		return nil, err
+	}
+	s.root = root
+	s.log = l
+	s.cpState = st
+	s.applied = 0
+	return s, nil
+}
+
+// load reads the current checkpoint and replays its log. If the current
+// checkpoint is unreadable (hard error) and a previous version is retained,
+// it falls back: load the previous checkpoint, replay the previous log,
+// then replay the current log (§4).
+func (s *Store) load(st checkpoint.State) error {
+	replayOpts := wal.ReplayOptions{Repair: true, SkipDamaged: s.cfg.SkipDamagedLogEntries}
+
+	hdr, cpTime, err := s.readCheckpoint(st.CheckpointName())
+	var res wal.ReplayResult
+	usedFallback := false
+	if err == nil {
+		res, err = s.replayInto(hdr, st.LogName(), hdr.NextSeq, replayOpts)
+	}
+	if err != nil && len(st.Retained) > 0 {
+		// Hard-error fallback through the newest retained version.
+		prev := st.Retained[len(st.Retained)-1]
+		var ferr error
+		hdr, cpTime, ferr = s.readCheckpoint(checkpoint.CheckpointName(prev))
+		if ferr != nil {
+			return fmt.Errorf("core: current checkpoint unusable (%v) and previous one too: %w", err, ferr)
+		}
+		prevRes, ferr := s.replayInto(hdr, checkpoint.LogName(prev), hdr.NextSeq, replayOpts)
+		if ferr != nil {
+			return fmt.Errorf("core: current checkpoint unusable (%v) and previous log too: %w", err, ferr)
+		}
+		res, ferr = s.replayInto(hdr, st.LogName(), prevRes.NextSeq, replayOpts)
+		if ferr != nil {
+			return fmt.Errorf("core: current checkpoint unusable (%v) and current log too: %w", err, ferr)
+		}
+		res.Entries += prevRes.Entries
+		res.Damaged += prevRes.Damaged
+		usedFallback = true
+	} else if err != nil {
+		return err
+	}
+
+	l, err := wal.Open(s.cfg.FS, st.LogName(), res.NextSeq, s.walOpts())
+	if err != nil {
+		return err
+	}
+	s.root = hdr.Root
+	s.log = l
+	s.cpState = st
+	s.applied = res.NextSeq - 1
+	s.logEntries = int64(res.Entries)
+	s.statMu.Lock()
+	s.stats.RestartCheckpointTime = cpTime
+	s.stats.RestartEntries = res.Entries
+	s.stats.RestartSkippedDamaged = res.Damaged
+	s.stats.RestartTornTail = res.Truncated
+	s.stats.RestartUsedFallback = usedFallback
+	s.stats.AppliedSeq = s.applied
+	s.statMu.Unlock()
+	return nil
+}
+
+func (s *Store) readCheckpoint(name string) (*header, time.Duration, error) {
+	start := time.Now()
+	f, err := s.cfg.FS.Open(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var hdr header
+	if err := pickle.Read(f, &hdr); err != nil {
+		return nil, 0, fmt.Errorf("core: reading checkpoint %s: %w", name, err)
+	}
+	if hdr.Root == nil || hdr.NextSeq == 0 {
+		return nil, 0, fmt.Errorf("core: checkpoint %s is malformed", name)
+	}
+	return &hdr, time.Since(start), nil
+}
+
+// replayInto replays the named log onto hdr.Root, returning the replay
+// result. When the log was replayed after a fallback checkpoint, firstSeq
+// overrides the header's.
+func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wal.ReplayOptions) (wal.ReplayResult, error) {
+	start := time.Now()
+	res, err := wal.Replay(s.cfg.FS, logName, firstSeq, opts, func(seq uint64, payload []byte) error {
+		var rec logRecord
+		if err := pickle.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("core: log entry %d undecodable: %w", seq, err)
+		}
+		if rec.U == nil {
+			return fmt.Errorf("core: log entry %d holds no update", seq)
+		}
+		if err := rec.U.Apply(hdr.Root); err != nil {
+			return fmt.Errorf("core: replaying entry %d: %w", seq, err)
+		}
+		return nil
+	})
+	s.statMu.Lock()
+	s.stats.RestartReplayTime += time.Since(start)
+	s.statMu.Unlock()
+	return res, err
+}
+
+// View runs fn on the database root under a shared lock: the paper's
+// enquiry. fn must not mutate the root, and must not retain references to
+// it after returning.
+func (s *Store) View(fn func(root any) error) error {
+	s.lock.Shared()
+	defer s.lock.SharedUnlock()
+	s.statMu.Lock()
+	s.stats.Enquiries++
+	s.statMu.Unlock()
+	return fn(s.root)
+}
+
+// Apply runs one update through the paper's three-step protocol. On return
+// the update is durable and applied — unless GroupCommit is on, in which
+// case it is applied and the return still waits for durability, but other
+// updates may share the disk write.
+func (s *Store) Apply(u Update) error {
+	if s.cfg.CoarseLocking {
+		return s.applyCoarse(u)
+	}
+
+	s.lock.Update()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.lock.UpdateUnlock()
+		return ErrClosed
+	}
+	if s.poisoned != nil {
+		err := s.poisoned
+		s.mu.Unlock()
+		s.lock.UpdateUnlock()
+		return err
+	}
+	log := s.log
+	s.mu.Unlock()
+
+	// Step 1: verify preconditions; enquiries are running.
+	t0 := time.Now()
+	if err := u.Verify(s.root); err != nil {
+		s.lock.UpdateUnlock()
+		return err
+	}
+	t1 := time.Now()
+
+	// Step 2: gather the parameters into a log entry and write it to
+	// disk — the commit point. Enquiries still running.
+	payload, err := pickle.Marshal(&logRecord{U: u})
+	if err != nil {
+		s.lock.UpdateUnlock()
+		return fmt.Errorf("core: pickling update: %w", err)
+	}
+	t2 := time.Now()
+
+	var commitErr error
+	var wait func() error
+	var seq uint64
+	if s.cfg.GroupCommit {
+		seq, wait = log.AppendAsync(payload)
+	} else {
+		seq, commitErr = log.Append(payload)
+		if commitErr != nil {
+			s.poison(commitErr)
+			s.lock.UpdateUnlock()
+			return commitErr
+		}
+	}
+	t3 := time.Now()
+
+	// Step 3: convert to exclusive and modify the virtual memory
+	// structure.
+	s.lock.Upgrade()
+	applyErr := u.Apply(s.root)
+	if applyErr == nil {
+		s.mu.Lock()
+		s.applied = seq
+		s.logEntries++
+		s.mu.Unlock()
+	}
+	s.lock.ExclusiveUnlock()
+	t4 := time.Now()
+
+	if applyErr != nil {
+		// The entry is (or will be) on disk but memory was not
+		// updated: log and memory disagree. This is a bug in the
+		// update type; refuse further work.
+		err := fmt.Errorf("core: update applied to log but failed in memory (Verify/Apply contract broken): %w", applyErr)
+		s.poison(err)
+		return err
+	}
+
+	if wait != nil {
+		if err := wait(); err != nil {
+			s.poison(err)
+			return err
+		}
+	}
+
+	s.statMu.Lock()
+	s.stats.Updates++
+	s.stats.VerifyTime += t1.Sub(t0)
+	s.stats.PickleTime += t2.Sub(t1)
+	s.stats.CommitTime += t3.Sub(t2)
+	s.stats.ApplyTime += t4.Sub(t3)
+	s.stats.AppliedSeq = seq
+	s.statMu.Unlock()
+
+	s.maybeAutoCheckpoint()
+	return nil
+}
+
+// applyCoarse is the E8 ablation: the entire update, disk write included,
+// under the exclusive lock, so enquiries stall for the full 20 ms-class
+// disk write rather than only the in-memory mutation.
+func (s *Store) applyCoarse(u Update) error {
+	s.lock.Exclusive()
+	defer s.lock.ExclusiveUnlock()
+
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return ErrClosed
+	case s.poisoned != nil:
+		err := s.poisoned
+		s.mu.Unlock()
+		return err
+	}
+	log := s.log
+	s.mu.Unlock()
+
+	t0 := time.Now()
+	if err := u.Verify(s.root); err != nil {
+		return err
+	}
+	t1 := time.Now()
+	payload, err := pickle.Marshal(&logRecord{U: u})
+	if err != nil {
+		return fmt.Errorf("core: pickling update: %w", err)
+	}
+	t2 := time.Now()
+	seq, err := log.Append(payload)
+	if err != nil {
+		s.poison(err)
+		return err
+	}
+	t3 := time.Now()
+	if err := u.Apply(s.root); err != nil {
+		err = fmt.Errorf("core: update applied to log but failed in memory: %w", err)
+		s.poison(err)
+		return err
+	}
+	s.mu.Lock()
+	s.applied = seq
+	s.logEntries++
+	s.mu.Unlock()
+	t4 := time.Now()
+
+	s.statMu.Lock()
+	s.stats.Updates++
+	s.stats.VerifyTime += t1.Sub(t0)
+	s.stats.PickleTime += t2.Sub(t1)
+	s.stats.CommitTime += t3.Sub(t2)
+	s.stats.ApplyTime += t4.Sub(t3)
+	s.stats.AppliedSeq = seq
+	s.statMu.Unlock()
+
+	s.maybeAutoCheckpoint()
+	return nil
+}
+
+func (s *Store) poison(err error) {
+	s.mu.Lock()
+	if s.poisoned == nil {
+		s.poisoned = err
+	}
+	s.mu.Unlock()
+}
+
+// Err reports the error that poisoned the store, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.poisoned
+}
+
+func (s *Store) maybeAutoCheckpoint() {
+	if s.cfg.MaxLogBytes <= 0 && s.cfg.MaxLogEntries <= 0 {
+		return
+	}
+	s.mu.Lock()
+	trigger := false
+	if s.log != nil && !s.closed && s.poisoned == nil {
+		if s.cfg.MaxLogBytes > 0 && s.log.Size() > s.cfg.MaxLogBytes {
+			trigger = true
+		}
+		if s.cfg.MaxLogEntries > 0 && s.logEntries > s.cfg.MaxLogEntries {
+			trigger = true
+		}
+	}
+	s.mu.Unlock()
+	if !trigger {
+		return
+	}
+	if !s.checkpointing.CompareAndSwap(false, true) {
+		return // one at a time
+	}
+	defer s.checkpointing.Store(false)
+	// Best effort: a failed auto-checkpoint leaves the old version
+	// current; updates keep logging.
+	_ = s.Checkpoint()
+}
+
+// Checkpoint records the entire database on disk and starts an empty log
+// (§3). It holds the update lock throughout — updates are excluded, but
+// enquiries proceed even during the disk transfers.
+func (s *Store) Checkpoint() error {
+	s.lock.Update()
+	defer s.lock.UpdateUnlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.poisoned != nil {
+		err := s.poisoned
+		s.mu.Unlock()
+		return err
+	}
+	oldLog := s.log
+	cur := s.cpState
+	nextSeq := s.applied + 1
+	s.mu.Unlock()
+
+	// Make sure every applied update's entry is durable in the old log
+	// before the new checkpoint supersedes it (group-commit entries may
+	// still be in flight). Close flushes.
+	if err := oldLog.Close(); err != nil {
+		s.poison(err)
+		return err
+	}
+
+	var pickleTime, ioTime time.Duration
+	start := time.Now()
+	newState, err := checkpoint.SwitchWith(s.cfg.FS, cur, func(w io.Writer) error {
+		p0 := time.Now()
+		cw := &countingWriter{w: w}
+		werr := pickle.Write(cw, &header{NextSeq: nextSeq, Root: s.root})
+		pickleTime = time.Since(p0) - cw.ioTime
+		ioTime = cw.ioTime
+		return werr
+	}, s.cpOpts())
+	if err != nil {
+		// The old version is still current; reopen its log for append.
+		reopened, rerr := wal.Open(s.cfg.FS, cur.LogName(), nextSeq, s.walOpts())
+		if rerr != nil {
+			s.poison(rerr)
+			return fmt.Errorf("core: checkpoint failed (%v) and old log could not be reopened: %w", err, rerr)
+		}
+		s.mu.Lock()
+		s.log = reopened
+		s.mu.Unlock()
+		return err
+	}
+	ioTime += time.Since(start) - pickleTime - ioTime
+
+	newLog, err := wal.Open(s.cfg.FS, newState.LogName(), nextSeq, s.walOpts())
+	if err != nil {
+		s.poison(err)
+		return err
+	}
+	s.mu.Lock()
+	s.log = newLog
+	s.cpState = newState
+	s.logEntries = 0
+	s.mu.Unlock()
+
+	s.statMu.Lock()
+	s.stats.Checkpoints++
+	s.stats.CheckpointPickleTime += pickleTime
+	s.stats.CheckpointIOTime += ioTime
+	s.statMu.Unlock()
+	return nil
+}
+
+// countingWriter tracks time spent inside the underlying writer, to
+// separate pickling CPU from disk time in checkpoint instrumentation.
+type countingWriter struct {
+	w      io.Writer
+	ioTime time.Duration
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	t := time.Now()
+	n, err := c.w.Write(p)
+	c.ioTime += time.Since(t)
+	return n, err
+}
+
+// CheckpointEvery starts a background goroutine checkpointing at the given
+// interval — the paper's "simple scheme of making a checkpoint each night".
+// It stops when the store is closed.
+func (s *Store) CheckpointEvery(interval time.Duration) {
+	s.mu.Lock()
+	if s.stopTimer != nil || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	s.stopTimer = stop
+	s.mu.Unlock()
+
+	s.timerWG.Add(1)
+	go func() {
+		defer s.timerWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = s.Checkpoint()
+			}
+		}
+	}()
+}
+
+// cpOpts derives the checkpoint-protocol options from the config.
+func (s *Store) cpOpts() checkpoint.Options {
+	return checkpoint.Options{Retain: s.cfg.Retain, ArchiveLogs: s.cfg.ArchiveLogs}
+}
+
+// History replays the database's audit trail — every archived log (with
+// Config.ArchiveLogs), every retained log, and the current log, in
+// sequence order — calling fn for each update ever committed that is still
+// on disk. It holds the update lock, so updates are excluded while the
+// trail is read but enquiries proceed. The trail starts at the oldest log
+// still present; sequence continuity across files is verified.
+func (s *Store) History(fn func(seq uint64, u Update) error) error {
+	s.lock.Update()
+	defer s.lock.UpdateUnlock()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	st := s.cpState
+	log := s.log
+	s.mu.Unlock()
+
+	// Bring the current log file in line with memory (group-commit
+	// entries may still be buffered).
+	if err := log.Flush(); err != nil {
+		return err
+	}
+
+	var files []string
+	archived, err := checkpoint.ArchivedLogs(s.cfg.FS)
+	if err != nil {
+		return err
+	}
+	for _, v := range archived {
+		files = append(files, checkpoint.ArchiveLogName(v))
+	}
+	for _, v := range st.Retained {
+		files = append(files, checkpoint.LogName(v))
+	}
+	files = append(files, st.LogName())
+
+	expect := uint64(0)
+	for _, name := range files {
+		first, ok, err := wal.FirstSeq(s.cfg.FS, name)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // empty log (no updates in that era)
+		}
+		if expect != 0 && first != expect {
+			return fmt.Errorf("core: audit trail gap: %s starts at sequence %d, expected %d", name, first, expect)
+		}
+		res, err := wal.Replay(s.cfg.FS, name, first, wal.ReplayOptions{SkipDamaged: s.cfg.SkipDamagedLogEntries}, func(seq uint64, payload []byte) error {
+			var rec logRecord
+			if err := pickle.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("core: audit entry %d undecodable: %w", seq, err)
+			}
+			return fn(seq, rec.U)
+		})
+		if err != nil {
+			return err
+		}
+		expect = res.NextSeq
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the instrumentation counters.
+func (s *Store) Stats() Stats {
+	s.statMu.Lock()
+	st := s.stats
+	s.statMu.Unlock()
+	s.mu.Lock()
+	if s.log != nil {
+		st.LogBytes = s.log.Size()
+	}
+	st.LogEntries = s.logEntries
+	s.mu.Unlock()
+	return st
+}
+
+// Version reports the current checkpoint version.
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cpState.Version
+}
+
+// AppliedSeq reports the sequence number of the last applied update.
+func (s *Store) AppliedSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
+// Close flushes and closes the log. It does not checkpoint; call
+// Checkpoint first if a fast next restart is wanted.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stop := s.stopTimer
+	log := s.log
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	s.timerWG.Wait()
+	if log != nil {
+		return log.Close()
+	}
+	return nil
+}
+
+// walOpts derives the log options from the config.
+func (s *Store) walOpts() wal.Options {
+	return wal.Options{NoSync: s.cfg.UnsafeNoSync}
+}

@@ -1,0 +1,98 @@
+package disk
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"smalldb/internal/vfs"
+)
+
+// The simulated disk has one arm: concurrent syncs serialize, so N
+// concurrent operations take about N× one operation's time.
+func TestSingleArmSerializes(t *testing.T) {
+	prof := Profile{Name: "test", PerOpWrite: 20 * time.Millisecond}
+	d := New(vfs.NewMem(1), prof, 0.5) // 10 ms real per op
+
+	const ops = 6
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := d.Create(vfsName(i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Write([]byte("x"))
+			f.Sync()
+			f.Close()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed < ops*10*time.Millisecond/2 {
+		t.Errorf("%d concurrent syncs finished in %v; arm not serializing", ops, elapsed)
+	}
+}
+
+func vfsName(i int) string {
+	return string(rune('a' + i))
+}
+
+func TestModeledIOAccumulatesUnderConcurrency(t *testing.T) {
+	d := New(vfs.NewMem(1), MicroVAX, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, _ := d.Create(vfsName(i))
+			f.Write(make([]byte, 100))
+			f.Sync()
+			f.Close()
+		}(i)
+	}
+	wg.Wait()
+	s := d.Stats()
+	if s.Syncs != 8 {
+		t.Errorf("Syncs = %d", s.Syncs)
+	}
+	perOp := MicroVAX.PerOpWrite + time.Duration(100*int64(time.Second)/MicroVAX.WriteBytesPerSec)
+	if s.ModeledIO != 8*perOp {
+		t.Errorf("ModeledIO = %v, want %v", s.ModeledIO, 8*perOp)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := New(vfs.NewMem(1), MicroVAX, 0)
+	f, _ := d.Create("f")
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	d.ResetStats()
+	if s := d.Stats(); s.Syncs != 0 || s.ModeledIO != 0 {
+		t.Errorf("stats not reset: %+v", s)
+	}
+}
+
+func TestOverOSFilesystem(t *testing.T) {
+	// The disk model composes with the real file system too.
+	osfs, err := vfs.NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(osfs, Unlimited, 0)
+	if err := vfs.WriteFile(d, "real", []byte("bytes")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(d, "real")
+	if err != nil || string(got) != "bytes" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if s := d.Stats(); s.Syncs != 1 || s.BytesWritten != 5 {
+		t.Errorf("stats over OS fs: %+v", s)
+	}
+}

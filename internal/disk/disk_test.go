@@ -1,0 +1,138 @@
+package disk
+
+import (
+	"testing"
+	"time"
+
+	"smalldb/internal/vfs"
+)
+
+func TestAccounting(t *testing.T) {
+	d := New(vfs.NewMem(1), MicroVAX, 0)
+	f, err := d.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	f.Write(payload)
+	f.Sync()
+	f.Close()
+
+	s := d.Stats()
+	if s.Syncs != 1 {
+		t.Errorf("Syncs = %d", s.Syncs)
+	}
+	if s.BytesWritten != 1000 {
+		t.Errorf("BytesWritten = %d", s.BytesWritten)
+	}
+	// Modeled: 20ms per-op + 1000B at 200KiB/s ≈ 20ms + 4.88ms.
+	want := MicroVAX.PerOpWrite + time.Duration(1000*int64(time.Second)/int64(200<<10))
+	if s.ModeledIO != want {
+		t.Errorf("ModeledIO = %v, want %v", s.ModeledIO, want)
+	}
+}
+
+func TestSyncChargesOnlyUnsynced(t *testing.T) {
+	d := New(vfs.NewMem(1), MicroVAX, 0)
+	f, _ := d.Create("f")
+	f.Write(make([]byte, 100))
+	f.Sync()
+	first := d.Stats().ModeledIO
+	f.Sync() // nothing new: per-op cost only
+	second := d.Stats().ModeledIO - first
+	if second != MicroVAX.PerOpWrite {
+		t.Errorf("second sync cost %v, want per-op %v", second, MicroVAX.PerOpWrite)
+	}
+}
+
+func TestReadAccounting(t *testing.T) {
+	mem := vfs.NewMem(1)
+	vfs.WriteFile(mem, "cp", make([]byte, 4096))
+	d := New(mem, MicroVAX, 0)
+	f, err := d.Open("cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 4096)
+	f.Read(buf)
+	s := d.Stats()
+	if s.Opens != 1 {
+		t.Errorf("Opens = %d", s.Opens)
+	}
+	if s.BytesRead != 4096 {
+		t.Errorf("BytesRead = %d", s.BytesRead)
+	}
+	if s.ModeledIO < MicroVAX.PerOpRead {
+		t.Errorf("ModeledIO = %v missing open cost", s.ModeledIO)
+	}
+}
+
+func TestScaledBlocking(t *testing.T) {
+	// With scale, a sync should actually block for about modeled×scale.
+	prof := Profile{Name: "test", PerOpWrite: 100 * time.Millisecond}
+	d := New(vfs.NewMem(1), prof, 0.1) // 10ms real
+	f, _ := d.Create("f")
+	f.Write([]byte("x"))
+	start := time.Now()
+	f.Sync()
+	elapsed := time.Since(start)
+	if elapsed < 5*time.Millisecond {
+		t.Errorf("sync returned in %v; expected ≥ ~10ms block", elapsed)
+	}
+}
+
+func TestZeroScaleDoesNotBlock(t *testing.T) {
+	d := New(vfs.NewMem(1), MicroVAX, 0)
+	f, _ := d.Create("f")
+	f.Write(make([]byte, 1<<20))
+	start := time.Now()
+	f.Sync() // modeled ~5s; must not block
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("zero-scale sync blocked")
+	}
+}
+
+func TestPassThrough(t *testing.T) {
+	mem := vfs.NewMem(1)
+	d := New(mem, Unlimited, 0)
+	if err := vfs.WriteFile(d, "a", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vfs.ReadFile(d, "b")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	names, _ := d.List()
+	if len(names) != 1 || names[0] != "b" {
+		t.Errorf("List = %v", names)
+	}
+	if size, _ := d.Stat("b"); size != 4 {
+		t.Errorf("Stat = %d", size)
+	}
+	if err := d.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(d, "b") {
+		t.Error("b still exists")
+	}
+}
+
+func TestCrashUnderneath(t *testing.T) {
+	// Crash semantics of the underlying Mem must be visible through Disk.
+	mem := vfs.NewMem(1)
+	d := New(mem, Unlimited, 0)
+	f, _ := d.Create("f")
+	f.Write([]byte("keep"))
+	f.Sync()
+	f.Write([]byte("lose"))
+	f.Close()
+	mem.Crash()
+	got, _ := vfs.ReadFile(d, "f")
+	if string(got) != "keep" {
+		t.Errorf("got %q", got)
+	}
+}

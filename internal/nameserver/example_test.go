@@ -1,0 +1,50 @@
+package nameserver_test
+
+import (
+	"fmt"
+
+	"smalldb/internal/nameserver"
+	"smalldb/internal/vfs"
+)
+
+func Example() {
+	// The paper's worked example: a name server whose database is a tree
+	// of hash tables, one disk write per update, no disk per enquiry.
+	fs := vfs.NewMem(1)
+	ns, err := nameserver.Open(nameserver.Config{FS: fs, Retain: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	ns.Set("net/hosts/gva/addr", "16.4.0.1")
+	ns.Set("net/hosts/src/addr", "16.4.0.2")
+	ns.Set("net/services/mail/port", "25")
+
+	addr, _ := ns.Lookup("net/hosts/gva/addr")
+	fmt.Println("gva:", addr)
+
+	hosts, _ := ns.List("net/hosts")
+	fmt.Println("hosts:", hosts)
+
+	// Browse a subtree (the paper's enumeration operations).
+	ns.Enumerate("net/services", func(name, value string) error {
+		fmt.Printf("%s = %s\n", name, value)
+		return nil
+	})
+
+	// Crash and recover: the checkpoint+log machinery is underneath.
+	ns.Close()
+	fs.Crash()
+	ns2, err := nameserver.Open(nameserver.Config{FS: fs, Retain: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer ns2.Close()
+	addr, _ = ns2.Lookup("net/hosts/src/addr")
+	fmt.Println("src after crash:", addr)
+	// Output:
+	// gva: 16.4.0.1
+	// hosts: [gva src]
+	// net/services/mail/port = 25
+	// src after crash: 16.4.0.2
+}

@@ -1,0 +1,226 @@
+package nameserver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"smalldb/internal/core"
+	"smalldb/internal/vfs"
+)
+
+// Config configures a name server.
+type Config struct {
+	// FS holds the checkpoint and log files.
+	FS vfs.FS
+	// Retain, GroupCommit and the checkpoint policies pass through to
+	// the underlying store.
+	Retain        int
+	GroupCommit   bool
+	CoarseLocking bool
+	UnsafeNoSync  bool
+	MaxLogBytes   int64
+	MaxLogEntries int64
+	// SkipDamagedLogEntries passes through; name-server updates are
+	// independent enough for the paper's skip-the-damaged-entry story.
+	SkipDamagedLogEntries bool
+}
+
+// Server is a name server: the paper's worked example, its whole database a
+// tree of hash tables in virtual memory.
+type Server struct {
+	store *core.Store
+}
+
+// Open recovers (or initializes) a name server from cfg.FS.
+func Open(cfg Config) (*Server, error) {
+	st, err := core.Open(core.Config{
+		FS:                    cfg.FS,
+		NewRoot:               NewRoot,
+		Retain:                cfg.Retain,
+		GroupCommit:           cfg.GroupCommit,
+		CoarseLocking:         cfg.CoarseLocking,
+		UnsafeNoSync:          cfg.UnsafeNoSync,
+		MaxLogBytes:           cfg.MaxLogBytes,
+		MaxLogEntries:         cfg.MaxLogEntries,
+		SkipDamagedLogEntries: cfg.SkipDamagedLogEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{store: st}, nil
+}
+
+// Store exposes the underlying store (for replication and experiments).
+func (s *Server) Store() *core.Store { return s.store }
+
+// --- enquiries: shared lock, no disk ---
+
+// Lookup returns the value bound to name.
+func (s *Server) Lookup(name string) (string, error) {
+	parts, err := SplitPath(name)
+	if err != nil {
+		return "", err
+	}
+	var val string
+	err = s.store.View(func(root any) error {
+		t, err := treeOf(root)
+		if err != nil {
+			return err
+		}
+		val, err = t.lookup(parts)
+		return err
+	})
+	return val, err
+}
+
+// List returns the sorted child labels under name.
+func (s *Server) List(name string) ([]string, error) {
+	parts, err := SplitPath(name)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	err = s.store.View(func(root any) error {
+		t, err := treeOf(root)
+		if err != nil {
+			return err
+		}
+		out, err = t.list(parts)
+		return err
+	})
+	return out, err
+}
+
+// Enumerate calls fn for every (name, value) pair at or below name, in
+// depth-first sorted order — the paper's browsing operation. Returning a
+// non-nil error from fn stops the walk.
+func (s *Server) Enumerate(name string, fn func(name, value string) error) error {
+	parts, err := SplitPath(name)
+	if err != nil {
+		return err
+	}
+	return s.store.View(func(root any) error {
+		t, err := treeOf(root)
+		if err != nil {
+			return err
+		}
+		n := t.find(parts)
+		if n == nil {
+			return fmt.Errorf("%w: %s", ErrNotFound, JoinPath(parts))
+		}
+		return walk(n, parts, fn)
+	})
+}
+
+func walk(n *Node, path []string, fn func(name, value string) error) error {
+	if n.HasValue {
+		if err := fn(JoinPath(path), n.Value); err != nil {
+			return err
+		}
+	}
+	labels := make([]string, 0, len(n.Children))
+	for k := range n.Children {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	for _, k := range labels {
+		if err := walk(n.Children[k], append(path, k), fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubtreeCopy returns a deep copy of the subtree at name; replication uses
+// it for snapshots.
+func (s *Server) SubtreeCopy(name string) (*Node, error) {
+	parts, err := SplitPath(name)
+	if err != nil {
+		return nil, err
+	}
+	var out *Node
+	err = s.store.View(func(root any) error {
+		t, err := treeOf(root)
+		if err != nil {
+			return err
+		}
+		n := t.find(parts)
+		if n == nil {
+			return fmt.Errorf("%w: %s", ErrNotFound, JoinPath(parts))
+		}
+		out = copyNode(n)
+		return nil
+	})
+	return out, err
+}
+
+// Count reports the number of nodes in the whole tree.
+func (s *Server) Count() (int, error) {
+	var n int
+	err := s.store.View(func(root any) error {
+		t, err := treeOf(root)
+		if err != nil {
+			return err
+		}
+		n = countNodes(t.Root)
+		return nil
+	})
+	return n, err
+}
+
+// --- updates: single-shot transactions ---
+
+// Set binds value to name, creating intermediate names.
+func (s *Server) Set(name, value string) error {
+	parts, err := SplitPath(name)
+	if err != nil {
+		return err
+	}
+	return s.store.Apply(&SetValue{Path: parts, Value: value})
+}
+
+// Delete removes name and its whole subtree.
+func (s *Server) Delete(name string) error {
+	parts, err := SplitPath(name)
+	if err != nil {
+		return err
+	}
+	return s.store.Apply(&DeleteSubtree{Path: parts})
+}
+
+// Put installs subtree at name, replacing any existing subtree.
+func (s *Server) Put(name string, subtree *Node) error {
+	parts, err := SplitPath(name)
+	if err != nil {
+		return err
+	}
+	return s.store.Apply(&PutSubtree{Path: parts, Subtree: subtree})
+}
+
+// Rename moves the subtree at from to to.
+func (s *Server) Rename(from, to string) error {
+	f, err := SplitPath(from)
+	if err != nil {
+		return err
+	}
+	tt, err := SplitPath(to)
+	if err != nil {
+		return err
+	}
+	return s.store.Apply(&Move{From: f, To: tt})
+}
+
+// --- administration ---
+
+// Checkpoint writes a checkpoint now.
+func (s *Server) Checkpoint() error { return s.store.Checkpoint() }
+
+// CheckpointEvery checkpoints on a timer — "a checkpoint each night".
+func (s *Server) CheckpointEvery(d time.Duration) { s.store.CheckpointEvery(d) }
+
+// Stats returns the underlying store's instrumentation.
+func (s *Server) Stats() core.Stats { return s.store.Stats() }
+
+// Close closes the server.
+func (s *Server) Close() error { return s.store.Close() }

@@ -1,0 +1,118 @@
+package nameserver
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"smalldb/internal/rpc"
+	"smalldb/internal/vfs"
+)
+
+// serve wires a Server behind the RPC layer over an in-memory pipe.
+func serve(t *testing.T) (*Server, *rpc.Client) {
+	t.Helper()
+	s := open(t, vfs.NewMem(1))
+	srv := rpc.NewServer()
+	if err := srv.Register("NS", NewRPCService(s)); err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	client := rpc.NewClient(cConn)
+	t.Cleanup(func() {
+		client.Close()
+		srv.Close()
+		s.Close()
+	})
+	return s, client
+}
+
+func TestRPCSetLookup(t *testing.T) {
+	_, c := serve(t)
+	if err := c.Call("NS.Set", &SetArgs{Name: "a/b", Value: "v"}, &SetReply{}); err != nil {
+		t.Fatal(err)
+	}
+	var reply LookupReply
+	if err := c.Call("NS.Lookup", &LookupArgs{Name: "a/b"}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Value != "v" {
+		t.Errorf("got %q", reply.Value)
+	}
+}
+
+func TestRPCLookupMissing(t *testing.T) {
+	_, c := serve(t)
+	err := c.Call("NS.Lookup", &LookupArgs{Name: "ghost"}, &LookupReply{})
+	if err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestRPCDelete(t *testing.T) {
+	_, c := serve(t)
+	c.Call("NS.Set", &SetArgs{Name: "x/y", Value: "1"}, &SetReply{})
+	if err := c.Call("NS.Delete", &DeleteArgs{Name: "x"}, &DeleteReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Call("NS.Lookup", &LookupArgs{Name: "x/y"}, &LookupReply{}); err == nil {
+		t.Error("deleted name still resolves")
+	}
+}
+
+func TestRPCListAndEnumerate(t *testing.T) {
+	_, c := serve(t)
+	for _, n := range []string{"d/b", "d/a", "d/c/deep"} {
+		c.Call("NS.Set", &SetArgs{Name: n, Value: "v-" + n}, &SetReply{})
+	}
+	var lr ListReply
+	if err := c.Call("NS.List", &ListArgs{Name: "d"}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lr.Labels, []string{"a", "b", "c"}) {
+		t.Errorf("labels %v", lr.Labels)
+	}
+	var er EnumerateReply
+	if err := c.Call("NS.Enumerate", &EnumerateArgs{Name: "d"}, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Names) != 3 || er.Names[0] != "d/a" || er.Values[2] != "v-d/c/deep" {
+		t.Errorf("enumerate %v %v", er.Names, er.Values)
+	}
+}
+
+func TestRPCSurvivesServerRestart(t *testing.T) {
+	// Updates made over RPC are durable like any other.
+	fs := vfs.NewMem(1)
+	s := open(t, fs)
+	srv := rpc.NewServer()
+	srv.Register("NS", NewRPCService(s))
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	client := rpc.NewClient(cConn)
+	if err := client.Call("NS.Set", &SetArgs{Name: "durable", Value: "yes"}, &SetReply{}); err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	srv.Close()
+	s.Close()
+	fs.Crash()
+
+	s2 := open(t, fs)
+	defer s2.Close()
+	if v, err := s2.Lookup("durable"); err != nil || v != "yes" {
+		t.Errorf("got %q, %v", v, err)
+	}
+}
+
+func TestRPCBadPath(t *testing.T) {
+	_, c := serve(t)
+	err := c.Call("NS.Set", &SetArgs{Name: "a//b", Value: "v"}, &SetReply{})
+	var se rpc.ServerError
+	if !errors.As(err, &se) {
+		t.Errorf("got %v", err)
+	}
+}

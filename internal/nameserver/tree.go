@@ -1,0 +1,344 @@
+// Package nameserver implements the paper's running example: "a general
+// purpose name-to-value mapping, where the names are strings and the values
+// are trees whose arcs are labelled by strings", stored as "a tree of hash
+// tables... indexed by strings, [delivering] values that are further hash
+// tables" (§3), built directly on the core store.
+//
+// Names are slash-separated paths ("net/hosts/gva"). Every node may carry a
+// string value and arbitrarily many labelled children, so the same tree
+// naturally holds user-account records, network configuration and file
+// directories — the §1 examples. Enquiry operations (Lookup, List,
+// Enumerate, SubtreeCopy) are pure virtual-memory reads; update operations
+// (SetValue, DeleteSubtree, PutSubtree, Move) are single-shot transactions,
+// each a registered update type that pickles into one log entry.
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"smalldb/internal/core"
+	"smalldb/internal/pickle"
+)
+
+// Tree is the database root: the name server's entire mapping.
+type Tree struct {
+	Root *Node
+}
+
+// Node is one name in the tree: an optional value plus string-labelled
+// arcs to children — the paper's hash table delivering further hash tables.
+//
+// Stamp and StampBy are replication metadata: the Lamport time and origin
+// of the write that set Value, used by the replica package's last-writer-
+// wins conflict resolution (the role timestamps play in the global name
+// service the paper's system fed into). They stay zero for unreplicated
+// databases.
+type Node struct {
+	Value    string
+	HasValue bool
+	Children map[string]*Node
+	Stamp    uint64
+	StampBy  string
+}
+
+// NewTree returns an empty tree.
+func NewTree() *Tree {
+	return &Tree{Root: &Node{Children: make(map[string]*Node)}}
+}
+
+// NewRoot is the core.Config.NewRoot constructor for a name-server store.
+func NewRoot() any { return NewTree() }
+
+func init() {
+	pickle.Register(&Tree{})
+	pickle.Register(&Node{})
+	core.RegisterUpdate(&SetValue{})
+	core.RegisterUpdate(&DeleteSubtree{})
+	core.RegisterUpdate(&PutSubtree{})
+	core.RegisterUpdate(&Move{})
+}
+
+// ErrNotFound is returned when a path does not name a node.
+var ErrNotFound = errors.New("nameserver: name not found")
+
+// ErrNoValue is returned when a node exists but carries no value.
+var ErrNoValue = errors.New("nameserver: name has no value")
+
+// SplitPath parses a slash-separated name into its components, rejecting
+// empty components. The empty string names the root.
+func SplitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, "/")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("nameserver: empty component in path %q", path)
+		}
+	}
+	return parts, nil
+}
+
+// JoinPath is the inverse of SplitPath.
+func JoinPath(parts []string) string { return strings.Join(parts, "/") }
+
+// find walks the tree to the node named by parts, or nil.
+func (t *Tree) find(parts []string) *Node {
+	n := t.Root
+	for _, p := range parts {
+		if n == nil || n.Children == nil {
+			return nil
+		}
+		n = n.Children[p]
+	}
+	return n
+}
+
+// ensure walks to parts, creating intermediate nodes.
+func (t *Tree) ensure(parts []string) *Node {
+	n := t.Root
+	for _, p := range parts {
+		if n.Children == nil {
+			n.Children = make(map[string]*Node)
+		}
+		child, ok := n.Children[p]
+		if !ok {
+			child = &Node{}
+			n.Children[p] = child
+		}
+		n = child
+	}
+	return n
+}
+
+// FindNode walks to the node named by parts, or nil. Exported for the
+// replica package's stamped conflict resolution.
+func (t *Tree) FindNode(parts []string) *Node { return t.find(parts) }
+
+// EnsureNode walks to parts, creating intermediate nodes. Exported for the
+// replica package's stamped conflict resolution.
+func (t *Tree) EnsureNode(parts []string) *Node { return t.ensure(parts) }
+
+// copyNode deep-copies a subtree.
+func copyNode(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	out := &Node{Value: n.Value, HasValue: n.HasValue, Stamp: n.Stamp, StampBy: n.StampBy}
+	if n.Children != nil {
+		out.Children = make(map[string]*Node, len(n.Children))
+		for k, c := range n.Children {
+			out.Children[k] = copyNode(c)
+		}
+	}
+	return out
+}
+
+// countNodes reports the number of nodes in a subtree, itself included.
+func countNodes(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// --- update types (single-shot transactions) ---
+
+// SetValue sets the value at Path, creating intermediate nodes.
+type SetValue struct {
+	Path  []string
+	Value string
+}
+
+// Verify implements core.Update.
+func (u *SetValue) Verify(root any) error {
+	_, err := treeOf(root)
+	return err
+}
+
+// Apply implements core.Update.
+func (u *SetValue) Apply(root any) error {
+	t, err := treeOf(root)
+	if err != nil {
+		return err
+	}
+	n := t.ensure(u.Path)
+	n.Value = u.Value
+	n.HasValue = true
+	return nil
+}
+
+// DeleteSubtree removes the node at Path and everything beneath it. Its
+// precondition is that the node exists.
+type DeleteSubtree struct {
+	Path []string
+}
+
+// Verify implements core.Update.
+func (u *DeleteSubtree) Verify(root any) error {
+	t, err := treeOf(root)
+	if err != nil {
+		return err
+	}
+	if len(u.Path) == 0 {
+		return errors.New("nameserver: cannot delete the root")
+	}
+	if t.find(u.Path) == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, JoinPath(u.Path))
+	}
+	return nil
+}
+
+// Apply implements core.Update.
+func (u *DeleteSubtree) Apply(root any) error {
+	t, err := treeOf(root)
+	if err != nil {
+		return err
+	}
+	parent := t.find(u.Path[:len(u.Path)-1])
+	if parent == nil || parent.Children == nil {
+		return nil // deleted by an equivalent replayed update; idempotent
+	}
+	delete(parent.Children, u.Path[len(u.Path)-1])
+	return nil
+}
+
+// PutSubtree installs an entire subtree at Path, replacing whatever was
+// there — the paper's "update operations for any set of sub-trees".
+type PutSubtree struct {
+	Path    []string
+	Subtree *Node
+}
+
+// Verify implements core.Update.
+func (u *PutSubtree) Verify(root any) error {
+	if u.Subtree == nil {
+		return errors.New("nameserver: nil subtree")
+	}
+	if len(u.Path) == 0 {
+		return errors.New("nameserver: cannot replace the root; use paths")
+	}
+	_, err := treeOf(root)
+	return err
+}
+
+// Apply implements core.Update.
+func (u *PutSubtree) Apply(root any) error {
+	t, err := treeOf(root)
+	if err != nil {
+		return err
+	}
+	parent := t.ensure(u.Path[:len(u.Path)-1])
+	if parent.Children == nil {
+		parent.Children = make(map[string]*Node)
+	}
+	// Deep-copy so the caller's subtree and the database never alias.
+	parent.Children[u.Path[len(u.Path)-1]] = copyNode(u.Subtree)
+	return nil
+}
+
+// Move renames the subtree at From to To. Preconditions: From exists, To
+// does not, and To is not inside From.
+type Move struct {
+	From, To []string
+}
+
+// Verify implements core.Update.
+func (u *Move) Verify(root any) error {
+	t, err := treeOf(root)
+	if err != nil {
+		return err
+	}
+	if len(u.From) == 0 || len(u.To) == 0 {
+		return errors.New("nameserver: move involving the root")
+	}
+	if t.find(u.From) == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, JoinPath(u.From))
+	}
+	if t.find(u.To) != nil {
+		return fmt.Errorf("nameserver: destination %s exists", JoinPath(u.To))
+	}
+	if isPrefix(u.From, u.To) {
+		return fmt.Errorf("nameserver: cannot move %s into itself", JoinPath(u.From))
+	}
+	return nil
+}
+
+// Apply implements core.Update.
+func (u *Move) Apply(root any) error {
+	t, err := treeOf(root)
+	if err != nil {
+		return err
+	}
+	n := t.find(u.From)
+	if n == nil {
+		return fmt.Errorf("nameserver: move source vanished: %s", JoinPath(u.From))
+	}
+	fromParent := t.find(u.From[:len(u.From)-1])
+	delete(fromParent.Children, u.From[len(u.From)-1])
+	toParent := t.ensure(u.To[:len(u.To)-1])
+	if toParent.Children == nil {
+		toParent.Children = make(map[string]*Node)
+	}
+	toParent.Children[u.To[len(u.To)-1]] = n
+	return nil
+}
+
+func isPrefix(prefix, path []string) bool {
+	if len(path) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if path[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func treeOf(root any) (*Tree, error) {
+	t, ok := root.(*Tree)
+	if !ok {
+		return nil, fmt.Errorf("nameserver: root is %T, not *Tree", root)
+	}
+	if t.Root == nil {
+		t.Root = &Node{Children: make(map[string]*Node)}
+	}
+	return t, nil
+}
+
+// --- read helpers used by the server and by tests ---
+
+// lookup returns the value at parts.
+func (t *Tree) lookup(parts []string) (string, error) {
+	n := t.find(parts)
+	if n == nil {
+		return "", fmt.Errorf("%w: %s", ErrNotFound, JoinPath(parts))
+	}
+	if !n.HasValue {
+		return "", fmt.Errorf("%w: %s", ErrNoValue, JoinPath(parts))
+	}
+	return n.Value, nil
+}
+
+// list returns the sorted arc labels under parts.
+func (t *Tree) list(parts []string) ([]string, error) {
+	n := t.find(parts)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, JoinPath(parts))
+	}
+	out := make([]string, 0, len(n.Children))
+	for k := range n.Children {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,479 @@
+package pickle
+
+import (
+	"bufio"
+	"encoding"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"sync"
+)
+
+// A Decoder reads pickled values from an input stream. It is the inverse of
+// Encoder: the stream's struct-type table accumulates across Decode calls on
+// the same Decoder, while pointer/map identity is scoped to a single decoded
+// value graph.
+//
+// A Decoder buffers its input; do not interleave reads on the underlying
+// reader with Decode calls.
+type Decoder struct {
+	r       *bufio.Reader
+	types   []streamType
+	readHdr bool
+}
+
+// streamType is a struct type as described by the stream: its printed name
+// (diagnostics only — matching is by field name) and its field names in
+// stream order.
+type streamType struct {
+	name   string
+	fields []string
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Decode reads the next pickled value into the variable pointed to by ptr,
+// which must be a non-nil pointer.
+func (d *Decoder) Decode(ptr any) error {
+	rv := reflect.ValueOf(ptr)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return errf("Decode target must be a non-nil pointer, got %T", ptr)
+	}
+	if err := d.header(); err != nil {
+		return err
+	}
+	st := &decState{refs: make(map[uint64]reflect.Value)}
+	return d.decodeValue(st, rv.Elem(), 0)
+}
+
+func (d *Decoder) header() error {
+	if d.readHdr {
+		return nil
+	}
+	b, err := d.r.ReadByte()
+	if err != nil {
+		return wrapEOF(err)
+	}
+	if b != magic {
+		return errf("bad magic byte %#x: not a pickle stream", b)
+	}
+	d.readHdr = true
+	return nil
+}
+
+// decState is per-value-graph decode state.
+type decState struct {
+	refs map[uint64]reflect.Value
+}
+
+func wrapEOF(err error) error {
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err == io.ErrUnexpectedEOF {
+		return errf("truncated stream")
+	}
+	return err
+}
+
+func (d *Decoder) readByte() (byte, error) {
+	b, err := d.r.ReadByte()
+	return b, wrapEOF(err)
+}
+
+func (d *Decoder) readUvarint() (uint64, error) {
+	u, err := binary.ReadUvarint(d.r)
+	return u, wrapEOF(err)
+}
+
+func (d *Decoder) readVarint() (int64, error) {
+	i, err := binary.ReadVarint(d.r)
+	return i, wrapEOF(err)
+}
+
+func (d *Decoder) readFull(p []byte) error {
+	_, err := io.ReadFull(d.r, p)
+	if err == io.EOF {
+		err = errf("truncated stream")
+	}
+	return wrapEOF(err)
+}
+
+func (d *Decoder) readString(limit uint64) (string, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > limit {
+		return "", errf("string length %d exceeds limit %d", n, limit)
+	}
+	buf := make([]byte, n)
+	if err := d.readFull(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (d *Decoder) readFloat64() (float64, error) {
+	var b [8]byte
+	if err := d.readFull(b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+// decodeValue reads one value into v, which must be settable.
+func (d *Decoder) decodeValue(st *decState, v reflect.Value, depth int) error {
+	if depth > MaxDepth {
+		return errf("stream exceeds maximum depth %d", MaxDepth)
+	}
+	tag, err := d.readByte()
+	if err != nil {
+		return err
+	}
+	return d.decodeTagged(st, tag, v, depth)
+}
+
+func (d *Decoder) decodeTagged(st *decState, tag byte, v reflect.Value, depth int) error {
+	// Pointer-level tolerance, as in encoding/gob: a non-pointer stream
+	// value decodes into a pointer target by allocating, and a pointer
+	// stream value decodes into a non-pointer target by dereferencing.
+	// Writers and readers therefore need not agree on whether the value
+	// was passed as &x or x.
+	if v.Kind() == reflect.Pointer && tag != tNil && tag != tPtr && tag != tRef {
+		np := reflect.New(v.Type().Elem())
+		v.Set(np)
+		return d.decodeTagged(st, tag, np.Elem(), depth)
+	}
+	if tag == tPtr && v.Kind() != reflect.Pointer {
+		id, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if v.CanAddr() {
+			st.refs[id] = v.Addr()
+		}
+		return d.decodeValue(st, v, depth+1)
+	}
+
+	// An interface target accepts any concrete stream value only via
+	// tIface or tNil; anything else is a mismatch caught below.
+	switch tag {
+	case tNil:
+		switch v.Kind() {
+		case reflect.Pointer, reflect.Map, reflect.Slice, reflect.Interface:
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		}
+		return errf("stream has nil but target is %v", v.Type())
+	case tFalse, tTrue:
+		if v.Kind() != reflect.Bool {
+			return mismatch(tag, v)
+		}
+		v.SetBool(tag == tTrue)
+		return nil
+	case tInt:
+		i, err := d.readVarint()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			if v.OverflowInt(i) {
+				return errf("value %d overflows %v", i, v.Type())
+			}
+			v.SetInt(i)
+			return nil
+		}
+		return mismatch(tag, v)
+	case tUint:
+		u, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+			if v.OverflowUint(u) {
+				return errf("value %d overflows %v", u, v.Type())
+			}
+			v.SetUint(u)
+			return nil
+		}
+		return mismatch(tag, v)
+	case tFloat32:
+		var b [4]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		f := math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
+		switch v.Kind() {
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(float64(f))
+			return nil
+		}
+		return mismatch(tag, v)
+	case tFloat64:
+		f, err := d.readFloat64()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Float64:
+			v.SetFloat(f)
+			return nil
+		case reflect.Float32:
+			if v.OverflowFloat(f) {
+				return errf("value %g overflows float32", f)
+			}
+			v.SetFloat(f)
+			return nil
+		}
+		return mismatch(tag, v)
+	case tComplex:
+		re, err := d.readFloat64()
+		if err != nil {
+			return err
+		}
+		im, err := d.readFloat64()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Complex64, reflect.Complex128:
+			v.SetComplex(complex(re, im))
+			return nil
+		}
+		return mismatch(tag, v)
+	case tString, tBytes:
+		s, err := d.readString(MaxStringLen)
+		if err != nil {
+			return err
+		}
+		switch {
+		case v.Kind() == reflect.String:
+			v.SetString(s)
+			return nil
+		case v.Kind() == reflect.Slice && v.Type().Elem().Kind() == reflect.Uint8:
+			v.SetBytes([]byte(s))
+			return nil
+		}
+		return mismatch(tag, v)
+	case tSlice:
+		n, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if n > MaxElems {
+			return errf("slice length %d exceeds limit %d", n, MaxElems)
+		}
+		if v.Kind() != reflect.Slice {
+			return mismatch(tag, v)
+		}
+		s := reflect.MakeSlice(v.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.decodeValue(st, s.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+		return nil
+	case tArray:
+		n, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Array {
+			return mismatch(tag, v)
+		}
+		if int(n) != v.Len() {
+			return errf("array length mismatch: stream %d, target %v", n, v.Type())
+		}
+		for i := 0; i < int(n); i++ {
+			if err := d.decodeValue(st, v.Index(i), depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	case tMap:
+		id, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if n > MaxElems {
+			return errf("map length %d exceeds limit %d", n, MaxElems)
+		}
+		if v.Kind() != reflect.Map {
+			return mismatch(tag, v)
+		}
+		m := reflect.MakeMapWithSize(v.Type(), int(n))
+		v.Set(m)
+		st.refs[id] = m
+		kt, vt := v.Type().Key(), v.Type().Elem()
+		for i := 0; i < int(n); i++ {
+			k := reflect.New(kt).Elem()
+			if err := d.decodeValue(st, k, depth+1); err != nil {
+				return err
+			}
+			val := reflect.New(vt).Elem()
+			if err := d.decodeValue(st, val, depth+1); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, val)
+		}
+		return nil
+	case tStruct:
+		stype, err := d.readStructType()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Struct {
+			return errf("stream has struct %s but target is %v", stype.name, v.Type())
+		}
+		idx := fieldIndex(v.Type())
+		for _, fname := range stype.fields {
+			if i, ok := idx[fname]; ok {
+				if err := d.decodeValue(st, v.Field(i), depth+1); err != nil {
+					return err
+				}
+			} else if err := d.skipValue(st, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	case tPtr:
+		id, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Pointer {
+			return mismatch(tag, v)
+		}
+		np := reflect.New(v.Type().Elem())
+		v.Set(np)
+		st.refs[id] = np
+		return d.decodeValue(st, np.Elem(), depth+1)
+	case tRef:
+		id, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		rv, ok := st.refs[id]
+		if !ok {
+			return errf("reference to undefined object %d", id)
+		}
+		if !rv.Type().AssignableTo(v.Type()) {
+			return errf("shared object %d has type %v, target wants %v", id, rv.Type(), v.Type())
+		}
+		v.Set(rv)
+		return nil
+	case tBinary:
+		data, err := d.readString(MaxStringLen)
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Struct || !v.CanAddr() {
+			return mismatch(tag, v)
+		}
+		bu, ok := v.Addr().Interface().(encoding.BinaryUnmarshaler)
+		if !ok {
+			return errf("stream has binary-marshaled value but %v has no UnmarshalBinary", v.Type())
+		}
+		if err := bu.UnmarshalBinary([]byte(data)); err != nil {
+			return errf("UnmarshalBinary into %v: %v", v.Type(), err)
+		}
+		return nil
+	case tIface:
+		name, err := d.readString(4096)
+		if err != nil {
+			return err
+		}
+		rt, ok := lookupType(name)
+		if !ok {
+			return errf("stream has unregistered concrete type %q; call pickle.Register", name)
+		}
+		cv := reflect.New(rt).Elem()
+		if err := d.decodeValue(st, cv, depth+1); err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Interface {
+			// Tolerate decoding an interface-pickled value into its
+			// concrete type.
+			if rt != v.Type() {
+				return errf("stream has %q but target is %v", name, v.Type())
+			}
+			v.Set(cv)
+			return nil
+		}
+		if !rt.AssignableTo(v.Type()) {
+			return errf("concrete type %q does not implement target interface %v", name, v.Type())
+		}
+		v.Set(cv)
+		return nil
+	default:
+		return errf("invalid tag byte %#x", tag)
+	}
+}
+
+func mismatch(tag byte, v reflect.Value) error {
+	return errf("stream has %s but target is %v", tagName(tag), v.Type())
+}
+
+// readStructType reads a struct type id and, on first occurrence, its inline
+// definition.
+func (d *Decoder) readStructType() (*streamType, error) {
+	id, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case id < uint64(len(d.types)):
+		return &d.types[id], nil
+	case id == uint64(len(d.types)):
+		name, err := d.readString(4096)
+		if err != nil {
+			return nil, err
+		}
+		nf, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nf > 1<<16 {
+			return nil, errf("struct %s claims %d fields", name, nf)
+		}
+		fields := make([]string, nf)
+		for i := range fields {
+			fields[i], err = d.readString(4096)
+			if err != nil {
+				return nil, err
+			}
+		}
+		d.types = append(d.types, streamType{name: name, fields: fields})
+		return &d.types[len(d.types)-1], nil
+	default:
+		return nil, errf("struct type id %d out of order (have %d)", id, len(d.types))
+	}
+}
+
+// fieldIndexCache maps a target struct type to its pickled-name -> field
+// index table.
+var fieldIndexCache sync.Map // reflect.Type -> map[string]int
+
+func fieldIndex(rt reflect.Type) map[string]int {
+	if m, ok := fieldIndexCache.Load(rt); ok {
+		return m.(map[string]int)
+	}
+	m := make(map[string]int)
+	for _, f := range fieldsOf(rt) {
+		m[f.name] = f.index
+	}
+	fieldIndexCache.Store(rt, m)
+	return m
+}

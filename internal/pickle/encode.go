@@ -1,0 +1,345 @@
+package pickle
+
+import (
+	"encoding"
+	"encoding/binary"
+	"io"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+)
+
+// An Encoder pickles values onto an output stream. Struct type definitions
+// are emitted once per Encoder; pointer/map identity is tracked per Encode
+// call, so each Encode produces an independently decodable value graph.
+type Encoder struct {
+	w        io.Writer
+	scratch  [binary.MaxVarintLen64]byte
+	types    map[reflect.Type]uint64 // struct type -> stream type id
+	wroteHdr bool
+	err      error // first write error; sticky
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder {
+	return &Encoder{w: w, types: make(map[reflect.Type]uint64)}
+}
+
+// Encode pickles v, which may be any value built from bools, integers,
+// floats, complex numbers, strings, slices, arrays, maps, structs (exported
+// fields only), pointers and registered interface values.
+func (e *Encoder) Encode(v any) error {
+	if e.err != nil {
+		return e.err
+	}
+	if !e.wroteHdr {
+		e.writeByte(magic)
+		e.wroteHdr = true
+	}
+	st := &encState{refs: make(map[uintptr]uint64)}
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		e.writeByte(tNil)
+		return e.err
+	}
+	e.encodeValue(st, rv, 0)
+	return e.err
+}
+
+// encState is per-Encode-call state: the identity table for shared pointers
+// and maps.
+type encState struct {
+	refs    map[uintptr]uint64
+	nextRef uint64
+}
+
+func (e *Encoder) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *Encoder) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	if _, err := e.w.Write(p); err != nil {
+		e.err = err
+	}
+}
+
+func (e *Encoder) writeByte(b byte) {
+	e.scratch[0] = b
+	e.write(e.scratch[:1])
+}
+
+func (e *Encoder) writeUvarint(u uint64) {
+	n := binary.PutUvarint(e.scratch[:], u)
+	e.write(e.scratch[:n])
+}
+
+func (e *Encoder) writeVarint(i int64) {
+	n := binary.PutVarint(e.scratch[:], i)
+	e.write(e.scratch[:n])
+}
+
+func (e *Encoder) writeString(s string) {
+	e.writeUvarint(uint64(len(s)))
+	if e.err == nil {
+		io.WriteString(e.w, s)
+	}
+}
+
+func (e *Encoder) writeFloat64(f float64) {
+	binary.LittleEndian.PutUint64(e.scratch[:8], math.Float64bits(f))
+	e.write(e.scratch[:8])
+}
+
+var binaryMarshalerType = reflect.TypeOf((*encoding.BinaryMarshaler)(nil)).Elem()
+
+// binaryMarshalCache caches the per-type answer of usesBinaryMarshaling.
+var binaryMarshalCache sync.Map // reflect.Type -> bool
+
+// usesBinaryMarshaling reports whether rt opts out of structural pickling
+// by implementing both encoding.BinaryMarshaler and BinaryUnmarshaler
+// (checked on *T for the unmarshal side), as time.Time does.
+func usesBinaryMarshaling(rt reflect.Type) bool {
+	if v, ok := binaryMarshalCache.Load(rt); ok {
+		return v.(bool)
+	}
+	uses := false
+	if rt.Kind() == reflect.Struct && rt.Implements(binaryMarshalerType) {
+		_, uses = reflect.PointerTo(rt).MethodByName("UnmarshalBinary")
+	}
+	binaryMarshalCache.Store(rt, uses)
+	return uses
+}
+
+func (e *Encoder) encodeValue(st *encState, v reflect.Value, depth int) {
+	if e.err != nil {
+		return
+	}
+	if depth > MaxDepth {
+		e.fail(errf("value exceeds maximum depth %d (unbounded recursion without pointers?)", MaxDepth))
+		return
+	}
+	if v.Kind() == reflect.Struct && usesBinaryMarshaling(v.Type()) {
+		bm := v.Interface().(encoding.BinaryMarshaler)
+		data, err := bm.MarshalBinary()
+		if err != nil {
+			e.fail(errf("MarshalBinary of %v: %v", v.Type(), err))
+			return
+		}
+		e.writeByte(tBinary)
+		e.writeUvarint(uint64(len(data)))
+		e.write(data)
+		return
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			e.writeByte(tTrue)
+		} else {
+			e.writeByte(tFalse)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.writeByte(tInt)
+		e.writeVarint(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		e.writeByte(tUint)
+		e.writeUvarint(v.Uint())
+	case reflect.Float32:
+		e.writeByte(tFloat32)
+		binary.LittleEndian.PutUint32(e.scratch[:4], math.Float32bits(float32(v.Float())))
+		e.write(e.scratch[:4])
+	case reflect.Float64:
+		e.writeByte(tFloat64)
+		e.writeFloat64(v.Float())
+	case reflect.Complex64, reflect.Complex128:
+		e.writeByte(tComplex)
+		c := v.Complex()
+		e.writeFloat64(real(c))
+		e.writeFloat64(imag(c))
+	case reflect.String:
+		e.writeByte(tString)
+		e.writeString(v.String())
+	case reflect.Slice:
+		e.encodeSlice(st, v, depth)
+	case reflect.Array:
+		e.writeByte(tArray)
+		e.writeUvarint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			e.encodeValue(st, v.Index(i), depth+1)
+		}
+	case reflect.Map:
+		e.encodeMap(st, v, depth)
+	case reflect.Struct:
+		e.encodeStruct(st, v, depth)
+	case reflect.Pointer:
+		e.encodePointer(st, v, depth)
+	case reflect.Interface:
+		e.encodeInterface(st, v, depth)
+	default:
+		e.fail(errf("cannot pickle value of kind %v (%v)", v.Kind(), v.Type()))
+	}
+}
+
+func (e *Encoder) encodeSlice(st *encState, v reflect.Value, depth int) {
+	if v.IsNil() {
+		e.writeByte(tNil)
+		return
+	}
+	if v.Type().Elem().Kind() == reflect.Uint8 {
+		e.writeByte(tBytes)
+		b := v.Bytes()
+		e.writeUvarint(uint64(len(b)))
+		e.write(b)
+		return
+	}
+	e.writeByte(tSlice)
+	e.writeUvarint(uint64(v.Len()))
+	for i := 0; i < v.Len(); i++ {
+		e.encodeValue(st, v.Index(i), depth+1)
+	}
+}
+
+func (e *Encoder) encodeMap(st *encState, v reflect.Value, depth int) {
+	if v.IsNil() {
+		e.writeByte(tNil)
+		return
+	}
+	if id, ok := st.refs[v.Pointer()]; ok {
+		e.writeByte(tRef)
+		e.writeUvarint(id)
+		return
+	}
+	id := st.nextRef
+	st.nextRef++
+	st.refs[v.Pointer()] = id
+	e.writeByte(tMap)
+	e.writeUvarint(id)
+	e.writeUvarint(uint64(v.Len()))
+	// Deterministic output for primitive-keyed maps: sort the keys by
+	// value so the same logical map always pickles to the same bytes,
+	// making checkpoints reproducible and diffable. Maps with composite
+	// keys are emitted in iteration order; their decode is unaffected.
+	keys := v.MapKeys()
+	sortKeys(keys)
+	for _, k := range keys {
+		e.encodeValue(st, k, depth+1)
+		e.encodeValue(st, v.MapIndex(k), depth+1)
+	}
+}
+
+func sortKeys(keys []reflect.Value) {
+	if len(keys) == 0 {
+		return
+	}
+	var less func(a, b reflect.Value) bool
+	switch keys[0].Kind() {
+	case reflect.String:
+		less = func(a, b reflect.Value) bool { return a.String() < b.String() }
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		less = func(a, b reflect.Value) bool { return a.Int() < b.Int() }
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		less = func(a, b reflect.Value) bool { return a.Uint() < b.Uint() }
+	case reflect.Float32, reflect.Float64:
+		less = func(a, b reflect.Value) bool { return a.Float() < b.Float() }
+	case reflect.Bool:
+		less = func(a, b reflect.Value) bool { return !a.Bool() && b.Bool() }
+	default:
+		return
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+}
+
+// structFields caches, per struct type, the exported fields we pickle.
+var structFields sync.Map // reflect.Type -> []fieldInfo
+
+type fieldInfo struct {
+	name  string
+	index int
+}
+
+func fieldsOf(rt reflect.Type) []fieldInfo {
+	if f, ok := structFields.Load(rt); ok {
+		return f.([]fieldInfo)
+	}
+	var fields []fieldInfo
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.PkgPath != "" { // unexported
+			continue
+		}
+		name := f.Name
+		if tag, ok := f.Tag.Lookup("pickle"); ok {
+			if tag == "-" {
+				continue
+			}
+			name = tag
+		}
+		fields = append(fields, fieldInfo{name: name, index: i})
+	}
+	structFields.Store(rt, fields)
+	return fields
+}
+
+func (e *Encoder) encodeStruct(st *encState, v reflect.Value, depth int) {
+	rt := v.Type()
+	fields := fieldsOf(rt)
+	e.writeByte(tStruct)
+	id, known := e.types[rt]
+	if !known {
+		id = uint64(len(e.types))
+		e.types[rt] = id
+		e.writeUvarint(id)
+		// Inline definition, emitted exactly once per Encoder at the
+		// first use of the type: name, field count, field names.
+		name := rt.String()
+		e.writeString(name)
+		e.writeUvarint(uint64(len(fields)))
+		for _, f := range fields {
+			e.writeString(f.name)
+		}
+	} else {
+		e.writeUvarint(id)
+	}
+	for _, f := range fields {
+		e.encodeValue(st, v.Field(f.index), depth+1)
+	}
+}
+
+func (e *Encoder) encodePointer(st *encState, v reflect.Value, depth int) {
+	if v.IsNil() {
+		e.writeByte(tNil)
+		return
+	}
+	if id, ok := st.refs[v.Pointer()]; ok {
+		e.writeByte(tRef)
+		e.writeUvarint(id)
+		return
+	}
+	id := st.nextRef
+	st.nextRef++
+	st.refs[v.Pointer()] = id
+	e.writeByte(tPtr)
+	e.writeUvarint(id)
+	e.encodeValue(st, v.Elem(), depth+1)
+}
+
+func (e *Encoder) encodeInterface(st *encState, v reflect.Value, depth int) {
+	if v.IsNil() {
+		e.writeByte(tNil)
+		return
+	}
+	elem := v.Elem()
+	name, ok := lookupName(elem.Type())
+	if !ok {
+		e.fail(errf("interface holds unregistered concrete type %v; call pickle.Register", elem.Type()))
+		return
+	}
+	e.writeByte(tIface)
+	e.writeString(name)
+	e.encodeValue(st, elem, depth+1)
+}

@@ -1,0 +1,261 @@
+package pickle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+)
+
+// Generic decoding: reading a pickle stream without knowing the Go types it
+// was written from. This serves two purposes. First, the typed decoder uses
+// it to skip struct fields the target type no longer has. Second, diagnostic
+// tools (cmd/logdump) use it to render checkpoints and log entries written
+// by any program.
+
+// A GenericStruct is the generic decoding of a pickled struct: its stream
+// type name and its fields in stream order.
+type GenericStruct struct {
+	Name   string
+	Fields []GenericField
+}
+
+// A GenericField is one named field of a GenericStruct.
+type GenericField struct {
+	Name  string
+	Value any
+}
+
+// A GenericMap is the generic decoding of a pickled map, as ordered
+// key/value pairs (keys decoded generically need not be comparable, so a Go
+// map cannot represent them).
+type GenericMap []GenericKV
+
+// A GenericKV is one entry of a GenericMap.
+type GenericKV struct {
+	Key, Value any
+}
+
+// A GenericIface is the generic decoding of an interface-typed value: the
+// registered concrete type name and the generically decoded value.
+type GenericIface struct {
+	TypeName string
+	Value    any
+}
+
+// DecodeAny reads the next pickled value generically. Structs decode to
+// GenericStruct, maps to GenericMap, slices and arrays to []any, pointers to
+// *any, integers to int64/uint64.
+func (d *Decoder) DecodeAny() (any, error) {
+	if err := d.header(); err != nil {
+		return nil, err
+	}
+	st := &decState{refs: make(map[uint64]reflect.Value)}
+	return d.decodeAny(st, 0)
+}
+
+// skipValue consumes one value from the stream, discarding it.
+func (d *Decoder) skipValue(st *decState, depth int) error {
+	_, err := d.decodeAny(st, depth)
+	return err
+}
+
+func (d *Decoder) decodeAny(st *decState, depth int) (any, error) {
+	if depth > MaxDepth {
+		return nil, errf("stream exceeds maximum depth %d", MaxDepth)
+	}
+	tag, err := d.readByte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tNil:
+		return nil, nil
+	case tFalse:
+		return false, nil
+	case tTrue:
+		return true, nil
+	case tInt:
+		return d.readVarint()
+	case tUint:
+		return d.readUvarint()
+	case tFloat32:
+		var b [4]byte
+		if err := d.readFull(b[:]); err != nil {
+			return nil, err
+		}
+		return float64(math.Float32frombits(binary.LittleEndian.Uint32(b[:]))), nil
+	case tFloat64:
+		return d.readFloat64()
+	case tComplex:
+		re, err := d.readFloat64()
+		if err != nil {
+			return nil, err
+		}
+		im, err := d.readFloat64()
+		if err != nil {
+			return nil, err
+		}
+		return complex(re, im), nil
+	case tString:
+		return d.readString(MaxStringLen)
+	case tBytes, tBinary:
+		s, err := d.readString(MaxStringLen)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(s), nil
+	case tSlice, tArray:
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxElems {
+			return nil, errf("slice length %d exceeds limit %d", n, MaxElems)
+		}
+		out := make([]any, n)
+		for i := range out {
+			if out[i], err = d.decodeAny(st, depth+1); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case tMap:
+		id, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > MaxElems {
+			return nil, errf("map length %d exceeds limit %d", n, MaxElems)
+		}
+		hole := new(any)
+		st.refs[id] = reflect.ValueOf(hole)
+		m := make(GenericMap, 0, n)
+		for i := uint64(0); i < n; i++ {
+			k, err := d.decodeAny(st, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.decodeAny(st, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			m = append(m, GenericKV{Key: k, Value: v})
+		}
+		*hole = m
+		return m, nil
+	case tStruct:
+		stype, err := d.readStructType()
+		if err != nil {
+			return nil, err
+		}
+		gs := GenericStruct{Name: stype.name, Fields: make([]GenericField, len(stype.fields))}
+		for i, fname := range stype.fields {
+			v, err := d.decodeAny(st, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			gs.Fields[i] = GenericField{Name: fname, Value: v}
+		}
+		return gs, nil
+	case tPtr:
+		id, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		hole := new(any)
+		st.refs[id] = reflect.ValueOf(hole)
+		v, err := d.decodeAny(st, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		*hole = v
+		return hole, nil
+	case tRef:
+		id, err := d.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		rv, ok := st.refs[id]
+		if !ok {
+			return nil, errf("reference to undefined object %d", id)
+		}
+		return rv.Interface(), nil
+	case tIface:
+		name, err := d.readString(4096)
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.decodeAny(st, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return GenericIface{TypeName: name, Value: v}, nil
+	default:
+		return nil, errf("invalid tag byte %#x", tag)
+	}
+}
+
+// Format renders a generically decoded value as indented text, for
+// diagnostic tools.
+func Format(v any) string {
+	var sb strings.Builder
+	formatInto(&sb, v, 0, make(map[*any]bool))
+	return sb.String()
+}
+
+func formatInto(sb *strings.Builder, v any, indent int, seen map[*any]bool) {
+	pad := strings.Repeat("  ", indent)
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("nil")
+	case GenericStruct:
+		fmt.Fprintf(sb, "%s {", x.Name)
+		for _, f := range x.Fields {
+			fmt.Fprintf(sb, "\n%s  %s: ", pad, f.Name)
+			formatInto(sb, f.Value, indent+1, seen)
+		}
+		fmt.Fprintf(sb, "\n%s}", pad)
+	case GenericMap:
+		sb.WriteString("map {")
+		for _, kv := range x {
+			fmt.Fprintf(sb, "\n%s  ", pad)
+			formatInto(sb, kv.Key, indent+1, seen)
+			sb.WriteString(": ")
+			formatInto(sb, kv.Value, indent+1, seen)
+		}
+		fmt.Fprintf(sb, "\n%s}", pad)
+	case GenericIface:
+		fmt.Fprintf(sb, "(%s) ", x.TypeName)
+		formatInto(sb, x.Value, indent, seen)
+	case []any:
+		sb.WriteString("[")
+		for i, e := range x {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatInto(sb, e, indent, seen)
+		}
+		sb.WriteString("]")
+	case *any:
+		if seen[x] {
+			sb.WriteString("<cycle>")
+			return
+		}
+		seen[x] = true
+		sb.WriteString("&")
+		formatInto(sb, *x, indent, seen)
+		delete(seen, x)
+	case string:
+		fmt.Fprintf(sb, "%q", x)
+	case []byte:
+		fmt.Fprintf(sb, "0x%x", x)
+	default:
+		fmt.Fprintf(sb, "%v", x)
+	}
+}

@@ -1,0 +1,435 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"smalldb/internal/core"
+	"smalldb/internal/nameserver"
+	"smalldb/internal/pickle"
+	"smalldb/internal/rpc"
+	"smalldb/internal/vfs"
+)
+
+// Config configures a replica node.
+type Config struct {
+	// Name identifies this node in update stamps; it must be unique
+	// across the replica set and stable across restarts.
+	Name string
+	// FS holds this node's own checkpoint and log files.
+	FS vfs.FS
+	// HistoryCap bounds the anti-entropy history kept in the database.
+	HistoryCap int
+	// Retain and the checkpoint policies pass through to the store.
+	Retain        int
+	MaxLogBytes   int64
+	MaxLogEntries int64
+}
+
+// Node is one replica: a full store plus the propagation machinery.
+type Node struct {
+	name  string
+	store *core.Store
+
+	mu    sync.Mutex // serializes local sequence assignment
+	peers map[string]*rpc.Client
+
+	stopAE chan struct{}
+	aeWG   sync.WaitGroup
+}
+
+// Open recovers (or initializes) a replica node.
+func Open(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("replica: Config.Name is required")
+	}
+	st, err := core.Open(core.Config{
+		FS:            cfg.FS,
+		NewRoot:       NewRootWithCap(cfg.HistoryCap),
+		Retain:        cfg.Retain,
+		MaxLogBytes:   cfg.MaxLogBytes,
+		MaxLogEntries: cfg.MaxLogEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Node{name: cfg.Name, store: st, peers: make(map[string]*rpc.Client)}, nil
+}
+
+// Name reports the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Store exposes the underlying store.
+func (n *Node) Store() *core.Store { return n.store }
+
+// AddPeer connects this node to a peer's RPC endpoint.
+func (n *Node) AddPeer(name string, client *rpc.Client) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[name] = client
+}
+
+// --- local operations ---
+
+// Apply commits an inner update locally (stamped with this node's next
+// sequence number) and then pushes it to every peer, best-effort: a peer
+// that is down catches up later through anti-entropy.
+func (n *Node) Apply(inner core.Update) error {
+	n.mu.Lock()
+	var seq, stamp uint64
+	err := n.store.View(func(root any) error {
+		r, err := rootOf(root)
+		if err != nil {
+			return err
+		}
+		seq = r.Vector[n.name] + 1
+		stamp = r.Clock + 1
+		return nil
+	})
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	ru := &Replicated{Origin: n.name, Seq: seq, Stamp: stamp, Inner: inner}
+	err = n.store.Apply(ru)
+	peers := make([]*rpc.Client, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	entry := Entry{Origin: n.name, Seq: seq, Stamp: stamp, Inner: inner}
+	for _, p := range peers {
+		var reply PushReply
+		_ = p.Call("Replica.Push", &PushArgs{Entries: []Entry{entry}}, &reply)
+	}
+	return nil
+}
+
+// Set, Delete and Lookup are name-tree conveniences over Apply/View.
+
+// Set binds value to name in the replicated tree.
+func (n *Node) Set(name, value string) error {
+	parts, err := nameserver.SplitPath(name)
+	if err != nil {
+		return err
+	}
+	return n.Apply(&nameserver.SetValue{Path: parts, Value: value})
+}
+
+// Delete removes name and its subtree.
+func (n *Node) Delete(name string) error {
+	parts, err := nameserver.SplitPath(name)
+	if err != nil {
+		return err
+	}
+	return n.Apply(&nameserver.DeleteSubtree{Path: parts})
+}
+
+// Lookup reads the value bound to name.
+func (n *Node) Lookup(name string) (string, error) {
+	parts, err := nameserver.SplitPath(name)
+	if err != nil {
+		return "", err
+	}
+	var out string
+	err = n.store.View(func(root any) error {
+		r, err := rootOf(root)
+		if err != nil {
+			return err
+		}
+		t := r.Tree
+		v, err := lookupTree(t, parts)
+		if err != nil {
+			return err
+		}
+		out = v
+		return nil
+	})
+	return out, err
+}
+
+func lookupTree(t *nameserver.Tree, parts []string) (string, error) {
+	n := t.Root
+	for _, p := range parts {
+		if n == nil || n.Children == nil {
+			return "", nameserver.ErrNotFound
+		}
+		n = n.Children[p]
+	}
+	if n == nil {
+		return "", nameserver.ErrNotFound
+	}
+	if !n.HasValue {
+		return "", nameserver.ErrNoValue
+	}
+	return n.Value, nil
+}
+
+// Vector snapshots this node's version vector.
+func (n *Node) Vector() (map[string]uint64, error) {
+	var out map[string]uint64
+	err := n.store.View(func(root any) error {
+		r, err := rootOf(root)
+		if err != nil {
+			return err
+		}
+		out = copyVector(r.Vector)
+		return nil
+	})
+	return out, err
+}
+
+// applyEntries applies remote entries in order, skipping already-applied
+// ones and stopping an origin's run at a gap. It reports how many entries
+// were newly applied.
+func (n *Node) applyEntries(entries []Entry) (applied int, err error) {
+	for _, e := range entries {
+		aerr := n.store.Apply(&Replicated{Origin: e.Origin, Seq: e.Seq, Stamp: e.Stamp, Inner: e.Inner})
+		switch {
+		case aerr == nil:
+			applied++
+		case errors.Is(aerr, ErrAlreadyApplied):
+			// fine: duplicate delivery
+		case errors.Is(aerr, ErrSequenceGap):
+			// later anti-entropy round will fill it
+		default:
+			// An inner precondition failure against our state:
+			// the update was valid where it committed, so force
+			// convergence is impossible for this entry; skip it
+			// but surface the error.
+			err = aerr
+		}
+	}
+	return applied, err
+}
+
+// --- anti-entropy ---
+
+// SyncWith pulls everything this node is missing from one peer. If the
+// peer's history has been trimmed past what we need, it falls back to a
+// full snapshot transfer.
+func (n *Node) SyncWith(client *rpc.Client) error {
+	vec, err := n.Vector()
+	if err != nil {
+		return err
+	}
+	var reply PullReply
+	if err := client.Call("Replica.Pull", &PullArgs{Vector: vec}, &reply); err != nil {
+		return err
+	}
+	if reply.NeedFull {
+		var snap SnapshotReply
+		if err := client.Call("Replica.Snapshot", &SnapshotArgs{}, &snap); err != nil {
+			return err
+		}
+		return n.installSnapshot(snap.Root)
+	}
+	_, err = n.applyEntries(reply.Entries)
+	return err
+}
+
+// AntiEntropyEvery starts a background loop syncing with every peer at the
+// given interval — the paper's long-term replica consistency mechanism.
+func (n *Node) AntiEntropyEvery(interval time.Duration) {
+	n.mu.Lock()
+	if n.stopAE != nil {
+		n.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	n.stopAE = stop
+	n.mu.Unlock()
+	n.aeWG.Add(1)
+	go func() {
+		defer n.aeWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				n.mu.Lock()
+				peers := make([]*rpc.Client, 0, len(n.peers))
+				for _, p := range n.peers {
+					peers = append(peers, p)
+				}
+				n.mu.Unlock()
+				for _, p := range peers {
+					_ = n.SyncWith(p)
+				}
+			}
+		}
+	}()
+}
+
+// installSnapshot replaces this node's entire state with a peer's snapshot,
+// keeping our own-origin updates if we are ahead (they will re-propagate).
+func (n *Node) installSnapshot(snap *Root) error {
+	if snap == nil {
+		return fmt.Errorf("replica: nil snapshot")
+	}
+	return n.store.Apply(&installSnapshot{Snap: snap})
+}
+
+// installSnapshot is an update that replaces the whole root in place; it is
+// logged like any other update, so it is itself crash-consistent.
+type installSnapshot struct {
+	Snap *Root
+}
+
+func init() { core.RegisterUpdate(&installSnapshot{}) }
+
+// Verify implements core.Update.
+func (u *installSnapshot) Verify(root any) error {
+	if u.Snap == nil || u.Snap.Tree == nil {
+		return fmt.Errorf("replica: malformed snapshot")
+	}
+	_, err := rootOf(root)
+	return err
+}
+
+// Apply implements core.Update.
+func (u *installSnapshot) Apply(root any) error {
+	r, err := rootOf(root)
+	if err != nil {
+		return err
+	}
+	r.Tree = u.Snap.Tree
+	r.Vector = copyVector(u.Snap.Vector)
+	if u.Snap.Clock > r.Clock {
+		r.Clock = u.Snap.Clock
+	}
+	r.History = append([]Entry(nil), u.Snap.History...)
+	if u.Snap.HistoryCap > 0 {
+		r.HistoryCap = u.Snap.HistoryCap
+	}
+	return nil
+}
+
+// RestoreFromPeer rebuilds a replica from a peer's full snapshot — the
+// paper's hard-error recovery. Call it on a freshly opened (empty or
+// reinitialized) node whose disk was lost; the node loses only updates that
+// had not propagated anywhere.
+func (n *Node) RestoreFromPeer(client *rpc.Client) error {
+	var snap SnapshotReply
+	if err := client.Call("Replica.Snapshot", &SnapshotArgs{}, &snap); err != nil {
+		return err
+	}
+	return n.installSnapshot(snap.Root)
+}
+
+// Checkpoint forwards to the store.
+func (n *Node) Checkpoint() error { return n.store.Checkpoint() }
+
+// Close stops anti-entropy and closes the store.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	stop := n.stopAE
+	n.stopAE = nil
+	peers := n.peers
+	n.peers = map[string]*rpc.Client{}
+	n.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	n.aeWG.Wait()
+	for _, p := range peers {
+		p.Close()
+	}
+	return n.store.Close()
+}
+
+// --- RPC service ---
+
+// Service is the RPC face of a node; register it as "Replica".
+type Service struct {
+	node *Node
+}
+
+// NewService returns the RPC service for a node.
+func NewService(n *Node) *Service { return &Service{node: n} }
+
+// PushArgs carries propagated updates.
+type PushArgs struct {
+	Entries []Entry
+}
+
+// PushReply reports how many entries were newly applied.
+type PushReply struct {
+	Applied int
+}
+
+// Push applies propagated updates.
+func (s *Service) Push(args *PushArgs, reply *PushReply) error {
+	applied, err := s.node.applyEntries(args.Entries)
+	reply.Applied = applied
+	return err
+}
+
+// PullArgs carries the caller's version vector.
+type PullArgs struct {
+	Vector map[string]uint64
+}
+
+// PullReply carries the entries the caller is missing, or NeedFull if the
+// history has been trimmed past the caller's vector.
+type PullReply struct {
+	Entries  []Entry
+	NeedFull bool
+}
+
+// Pull computes the missing suffix for a caller's vector.
+func (s *Service) Pull(args *PullArgs, reply *PullReply) error {
+	return s.node.store.View(func(root any) error {
+		r, err := rootOf(root)
+		if err != nil {
+			return err
+		}
+		reply.Entries, reply.NeedFull = r.missingFrom(args.Vector)
+		return nil
+	})
+}
+
+// SnapshotArgs requests a full snapshot.
+type SnapshotArgs struct{}
+
+// SnapshotReply carries a deep copy of the node's entire root.
+type SnapshotReply struct {
+	Root *Root
+}
+
+// Snapshot returns the node's full state.
+func (s *Service) Snapshot(args *SnapshotArgs, reply *SnapshotReply) error {
+	return s.node.store.View(func(root any) error {
+		r, err := rootOf(root)
+		if err != nil {
+			return err
+		}
+		// Deep-copy via pickle: the reply outlives the shared lock.
+		data, err := pickle.Marshal(r)
+		if err != nil {
+			return err
+		}
+		var cp Root
+		if err := pickle.Unmarshal(data, &cp); err != nil {
+			return err
+		}
+		reply.Root = &cp
+		return nil
+	})
+}
+
+func init() {
+	pickle.Register(&PushArgs{})
+	pickle.Register(&PushReply{})
+	pickle.Register(&PullArgs{})
+	pickle.Register(&PullReply{})
+	pickle.Register(&SnapshotArgs{})
+	pickle.Register(&SnapshotReply{})
+}

@@ -1,0 +1,464 @@
+// Package rpc is a from-scratch remote procedure call facility in the
+// mould of the paper's §6: clients interact with the name server "through a
+// general purpose remote procedure call mechanism" whose marshalling
+// converts "between strongly typed data structures and bit representations
+// suitable for transport across the network" — here, the pickle package
+// plays both roles, so (as the paper boasts) there is no manually written
+// marshalling code anywhere.
+//
+// Exposed services are ordinary Go values. Every exported method of the
+// form
+//
+//	func (s *Svc) Method(arg *A, reply *R) error
+//
+// becomes callable as "SvcName.Method". Argument and reply types must be
+// registered with pickle.Register — the analogue of the paper's
+// automatically generated stub modules, derived here from reflection
+// instead of a stub compiler.
+//
+// The wire protocol is one uvarint-length-prefixed pickled message per
+// request or response, multiplexed by call ID, so one connection carries
+// any number of concurrent calls.
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"smalldb/internal/pickle"
+)
+
+// maxMessage bounds a single RPC message.
+const maxMessage = 64 << 20
+
+// ServerError is an error returned by the remote side.
+type ServerError string
+
+func (e ServerError) Error() string { return string(e) }
+
+// ErrShutdown is returned by calls on a closed client.
+var ErrShutdown = errors.New("rpc: client is shut down")
+
+// request and response are the two wire message types.
+type request struct {
+	ID     uint64
+	Method string
+	Arg    any
+}
+
+type response struct {
+	ID     uint64
+	Err    string
+	Result any
+}
+
+func init() {
+	pickle.Register(&request{})
+	pickle.Register(&response{})
+}
+
+// writeMessage frames and writes one pickled message.
+func writeMessage(w io.Writer, wmu *sync.Mutex, v any) error {
+	payload, err := pickle.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	wmu.Lock()
+	defer wmu.Unlock()
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readMessage reads one framed message into ptr.
+func readMessage(r *bufio.Reader, ptr any) error {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return err
+	}
+	if n > maxMessage {
+		return fmt.Errorf("rpc: message of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return pickle.Unmarshal(buf, ptr)
+}
+
+// --- server ---
+
+// A Server dispatches calls to registered services.
+type Server struct {
+	mu       sync.RWMutex
+	services map[string]*service
+
+	lmu       sync.Mutex
+	listeners []net.Listener
+	conns     map[io.Closer]bool
+	closed    bool
+}
+
+type service struct {
+	rcvr    reflect.Value
+	methods map[string]reflect.Method
+}
+
+// NewServer returns an empty Server.
+func NewServer() *Server {
+	return &Server{services: make(map[string]*service), conns: make(map[io.Closer]bool)}
+}
+
+var errType = reflect.TypeOf((*error)(nil)).Elem()
+
+// Register exposes rcvr's suitable methods under the given service name. A
+// suitable method is exported, takes two pointer arguments (args and
+// reply), and returns error.
+func (s *Server) Register(name string, rcvr any) error {
+	rv := reflect.ValueOf(rcvr)
+	rt := rv.Type()
+	svc := &service{rcvr: rv, methods: make(map[string]reflect.Method)}
+	for i := 0; i < rt.NumMethod(); i++ {
+		m := rt.Method(i)
+		mt := m.Type
+		if !m.IsExported() || mt.NumIn() != 3 || mt.NumOut() != 1 {
+			continue
+		}
+		if mt.In(1).Kind() != reflect.Pointer || mt.In(2).Kind() != reflect.Pointer {
+			continue
+		}
+		if mt.Out(0) != errType {
+			continue
+		}
+		svc.methods[m.Name] = m
+	}
+	if len(svc.methods) == 0 {
+		return fmt.Errorf("rpc: %T exposes no methods of the form Method(arg *A, reply *R) error", rcvr)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.services[name]; dup {
+		return fmt.Errorf("rpc: service %q already registered", name)
+	}
+	s.services[name] = svc
+	return nil
+}
+
+// Serve accepts connections from l until it is closed, serving each
+// connection on its own goroutine.
+func (s *Server) Serve(l net.Listener) error {
+	s.lmu.Lock()
+	if s.closed {
+		s.lmu.Unlock()
+		l.Close()
+		return errors.New("rpc: server closed")
+	}
+	s.listeners = append(s.listeners, l)
+	s.lmu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.lmu.Lock()
+			closed := s.closed
+			s.lmu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn serves a single connection until it fails or the server closes.
+// Requests on one connection are handled concurrently, each on its own
+// goroutine, as the calls they carry may interleave enquiries and updates.
+func (s *Server) ServeConn(conn io.ReadWriteCloser) {
+	s.lmu.Lock()
+	if s.closed {
+		s.lmu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = true
+	s.lmu.Unlock()
+	defer func() {
+		s.lmu.Lock()
+		delete(s.conns, conn)
+		s.lmu.Unlock()
+		conn.Close()
+	}()
+
+	var wmu sync.Mutex
+	r := bufio.NewReader(conn)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		var req request
+		if err := readMessage(r, &req); err != nil {
+			return
+		}
+		handlers.Add(1)
+		go func(req request) {
+			defer handlers.Done()
+			resp := s.dispatch(&req)
+			_ = writeMessage(conn, &wmu, resp)
+		}(req)
+	}
+}
+
+// dispatch has a named result so the deferred panic handler can still
+// deliver a response after recovering.
+func (s *Server) dispatch(req *request) (resp *response) {
+	resp = &response{ID: req.ID}
+	svcName, mName, ok := splitMethod(req.Method)
+	if !ok {
+		resp.Err = fmt.Sprintf("rpc: malformed method %q", req.Method)
+		return resp
+	}
+	s.mu.RLock()
+	svc := s.services[svcName]
+	s.mu.RUnlock()
+	if svc == nil {
+		resp.Err = fmt.Sprintf("rpc: unknown service %q", svcName)
+		return resp
+	}
+	m, ok := svc.methods[mName]
+	if !ok {
+		resp.Err = fmt.Sprintf("rpc: service %q has no method %q", svcName, mName)
+		return resp
+	}
+
+	argType := m.Type.In(1)   // *A
+	replyType := m.Type.In(2) // *R
+	argv := reflect.New(argType.Elem())
+	if req.Arg != nil {
+		av := reflect.ValueOf(req.Arg)
+		switch {
+		case av.Type() == argType:
+			argv = av
+		case av.Type() == argType.Elem():
+			argv.Elem().Set(av)
+		default:
+			resp.Err = fmt.Sprintf("rpc: %s wants %v, got %T", req.Method, argType, req.Arg)
+			return resp
+		}
+	}
+	replyv := reflect.New(replyType.Elem())
+
+	defer func() {
+		if p := recover(); p != nil {
+			resp.Err = fmt.Sprintf("rpc: %s panicked: %v", req.Method, p)
+			resp.Result = nil
+		}
+	}()
+	out := m.Func.Call([]reflect.Value{svc.rcvr, argv, replyv})
+	if ierr := out[0].Interface(); ierr != nil {
+		resp.Err = ierr.(error).Error()
+		return resp
+	}
+	resp.Result = replyv.Interface()
+	return resp
+}
+
+func splitMethod(s string) (svc, method string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[:i], s[i+1:], i > 0 && i < len(s)-1
+		}
+	}
+	return "", "", false
+}
+
+// Close stops all listeners and open connections.
+func (s *Server) Close() {
+	s.lmu.Lock()
+	s.closed = true
+	ls := s.listeners
+	s.listeners = nil
+	var conns []io.Closer
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.lmu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// --- client ---
+
+// A Client issues calls over one connection; it is safe for concurrent use
+// and multiplexes any number of outstanding calls.
+type Client struct {
+	conn io.ReadWriteCloser
+	wmu  sync.Mutex
+
+	// SimulatedRTT, when set, delays every call by the given round-trip
+	// time — experiment E11's stand-in for the paper's 8 ms network.
+	SimulatedRTT time.Duration
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *response
+	err     error
+	closed  bool
+}
+
+// NewClient returns a Client using conn.
+func NewClient(conn io.ReadWriteCloser) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan *response)}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects a Client to a TCP server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+func (c *Client) readLoop() {
+	r := bufio.NewReader(c.conn)
+	for {
+		var resp response
+		if err := readMessage(r, &resp); err != nil {
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan *response)
+	c.mu.Unlock()
+	for id, ch := range pending {
+		ch <- &response{ID: id, Err: err.Error()}
+	}
+}
+
+// CallTimeout is Call with a deadline: if the response does not arrive in
+// time the call fails with ErrTimeout (the request is not cancelled on the
+// server — as in the paper's RPC, the caller just stops waiting — but the
+// late response is discarded).
+func (c *Client) CallTimeout(method string, arg, reply any, d time.Duration) error {
+	// Decode into a private value so a response arriving after the
+	// timeout cannot race a caller that reuses reply.
+	var tmp any
+	if reply != nil {
+		rv := reflect.ValueOf(reply)
+		if rv.Kind() != reflect.Pointer || rv.IsNil() {
+			return fmt.Errorf("rpc: reply must be a non-nil pointer, got %T", reply)
+		}
+		tmp = reflect.New(rv.Type().Elem()).Interface()
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.Call(method, arg, tmp) }()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		if err == nil && reply != nil {
+			reflect.ValueOf(reply).Elem().Set(reflect.ValueOf(tmp).Elem())
+		}
+		return err
+	case <-timer.C:
+		return ErrTimeout
+	}
+}
+
+// ErrTimeout is returned by CallTimeout when the deadline passes.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// Call invokes "Service.Method" with arg, storing the result into reply
+// (a non-nil pointer, or nil to discard).
+func (c *Client) Call(method string, arg any, reply any) error {
+	if c.SimulatedRTT > 0 {
+		time.Sleep(c.SimulatedRTT)
+	}
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrShutdown
+		}
+		return err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *response, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := writeMessage(c.conn, &c.wmu, &request{ID: id, Method: method, Arg: arg}); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return err
+	}
+	resp := <-ch
+	if resp.Err != "" {
+		return ServerError(resp.Err)
+	}
+	if reply == nil || resp.Result == nil {
+		return nil
+	}
+	rv := reflect.ValueOf(reply)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("rpc: reply must be a non-nil pointer, got %T", reply)
+	}
+	res := reflect.ValueOf(resp.Result)
+	switch {
+	case res.Type() == rv.Type():
+		rv.Elem().Set(res.Elem())
+	case res.Type() == rv.Type().Elem():
+		rv.Elem().Set(res)
+	default:
+		return fmt.Errorf("rpc: reply type %T does not match result %T", reply, resp.Result)
+	}
+	return nil
+}
+
+// Close shuts the client down; outstanding calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(ErrShutdown)
+	return err
+}

@@ -1,0 +1,290 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smalldb/internal/pickle"
+)
+
+// Arith is the canonical test service.
+type Arith struct{}
+
+type ArithArgs struct{ A, B int }
+
+type ArithReply struct{ Sum, Product int }
+
+func (Arith) Do(args *ArithArgs, reply *ArithReply) error {
+	reply.Sum = args.A + args.B
+	reply.Product = args.A * args.B
+	return nil
+}
+
+func (Arith) Fail(args *ArithArgs, reply *ArithReply) error {
+	return fmt.Errorf("deliberate failure on %d", args.A)
+}
+
+func (Arith) Panics(args *ArithArgs, reply *ArithReply) error {
+	panic("boom")
+}
+
+func (Arith) Slow(args *ArithArgs, reply *ArithReply) error {
+	time.Sleep(time.Duration(args.A) * time.Millisecond)
+	reply.Sum = args.A
+	return nil
+}
+
+// unexported or wrong-shaped methods must be skipped.
+func (Arith) wrongShape(a int) error { return nil }
+
+type Echo struct{}
+
+type EchoMsg struct{ S string }
+
+func (Echo) Echo(in *EchoMsg, out *EchoMsg) error {
+	out.S = in.S
+	return nil
+}
+
+func init() {
+	pickle.Register(&ArithArgs{})
+	pickle.Register(&ArithReply{})
+	pickle.Register(&EchoMsg{})
+}
+
+// pipePair returns a connected client and server over an in-memory pipe.
+func pipePair(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	srv := NewServer()
+	if err := srv.Register("Arith", Arith{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("Echo", Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	c := NewClient(cConn)
+	t.Cleanup(func() { c.Close(); srv.Close() })
+	return c, srv
+}
+
+func TestBasicCall(t *testing.T) {
+	c, _ := pipePair(t)
+	var reply ArithReply
+	if err := c.Call("Arith.Do", &ArithArgs{A: 6, B: 7}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Sum != 13 || reply.Product != 42 {
+		t.Errorf("got %+v", reply)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	c, _ := pipePair(t)
+	err := c.Call("Arith.Fail", &ArithArgs{A: 9}, &ArithReply{})
+	var se ServerError
+	if !errors.As(err, &se) || !strings.Contains(err.Error(), "deliberate failure on 9") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	c, _ := pipePair(t)
+	err := c.Call("Arith.Panics", &ArithArgs{}, &ArithReply{})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("got %v", err)
+	}
+	// The connection survives a handler panic.
+	var reply ArithReply
+	if err := c.Call("Arith.Do", &ArithArgs{A: 1, B: 1}, &reply); err != nil {
+		t.Fatalf("connection dead after panic: %v", err)
+	}
+}
+
+func TestUnknownTargets(t *testing.T) {
+	c, _ := pipePair(t)
+	if err := c.Call("Nope.X", &ArithArgs{}, nil); err == nil || !strings.Contains(err.Error(), "unknown service") {
+		t.Errorf("got %v", err)
+	}
+	if err := c.Call("Arith.Nope", &ArithArgs{}, nil); err == nil || !strings.Contains(err.Error(), "no method") {
+		t.Errorf("got %v", err)
+	}
+	if err := c.Call("Malformed", &ArithArgs{}, nil); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	c, _ := pipePair(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var reply ArithReply
+			if err := c.Call("Arith.Do", &ArithArgs{A: i, B: i}, &reply); err != nil {
+				errs <- err
+				return
+			}
+			if reply.Sum != 2*i {
+				errs <- fmt.Errorf("i=%d sum=%d", i, reply.Sum)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSlowCallDoesNotBlockFastCall(t *testing.T) {
+	c, _ := pipePair(t)
+	done := make(chan struct{})
+	go func() {
+		var r ArithReply
+		c.Call("Arith.Slow", &ArithArgs{A: 300}, &r)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
+	var r ArithReply
+	if err := c.Call("Arith.Do", &ArithArgs{A: 1, B: 2}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Errorf("fast call waited %v behind slow call", elapsed)
+	}
+	<-done
+}
+
+func TestOverTCP(t *testing.T) {
+	srv := NewServer()
+	if err := srv.Register("Echo", Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out EchoMsg
+	if err := c.Call("Echo.Echo", &EchoMsg{S: "over tcp"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != "over tcp" {
+		t.Errorf("got %q", out.S)
+	}
+}
+
+func TestSimulatedRTT(t *testing.T) {
+	c, _ := pipePair(t)
+	c.SimulatedRTT = 30 * time.Millisecond
+	start := time.Now()
+	var r ArithReply
+	if err := c.Call("Arith.Do", &ArithArgs{A: 1, B: 1}, &r); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("call took %v, expected ≥ 30ms RTT", elapsed)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	c, _ := pipePair(t)
+	// A slow call times out.
+	err := c.CallTimeout("Arith.Slow", &ArithArgs{A: 500}, &ArithReply{}, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v", err)
+	}
+	// The connection is still usable for later calls.
+	var r ArithReply
+	if err := c.CallTimeout("Arith.Do", &ArithArgs{A: 2, B: 3}, &r, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.Sum != 5 {
+		t.Errorf("sum %d", r.Sum)
+	}
+}
+
+func TestClientClose(t *testing.T) {
+	c, _ := pipePair(t)
+	c.Close()
+	if err := c.Call("Arith.Do", &ArithArgs{}, nil); err == nil {
+		t.Error("call on closed client succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestServerCloseFailsPendingCalls(t *testing.T) {
+	c, srv := pipePair(t)
+	done := make(chan error, 1)
+	go func() {
+		var r ArithReply
+		done <- c.Call("Arith.Slow", &ArithArgs{A: 2000}, &r)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("pending call succeeded past server close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("pending call hung after server close")
+	}
+}
+
+func TestRegisterRejectsBareStruct(t *testing.T) {
+	srv := NewServer()
+	type empty struct{}
+	if err := srv.Register("X", empty{}); err == nil {
+		t.Error("registered a service with no methods")
+	}
+	if err := srv.Register("A", Arith{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register("A", Arith{}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+}
+
+func TestNilReplyDiscards(t *testing.T) {
+	c, _ := pipePair(t)
+	if err := c.Call("Arith.Do", &ArithArgs{A: 1, B: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCallPipe(b *testing.B) {
+	srv := NewServer()
+	srv.Register("Echo", Echo{})
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	c := NewClient(cConn)
+	defer c.Close()
+	defer srv.Close()
+	b.ReportAllocs()
+	var out EchoMsg
+	for i := 0; i < b.N; i++ {
+		if err := c.Call("Echo.Echo", &EchoMsg{S: "x"}, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

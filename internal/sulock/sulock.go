@@ -1,0 +1,148 @@
+// Package sulock implements the paper's three-mode lock with exactly its
+// compatibility matrix (§3):
+//
+//	           shared     update     exclusive
+//	shared    compatible compatible  conflict
+//	update    compatible  conflict   conflict
+//	exclusive  conflict   conflict   conflict
+//
+// "An enquiry operation is performed with a shared lock. An update
+// operation first acquires an update lock (thereby excluding other update
+// operations but permitting enquiry operations). After the update operation
+// has verified its pre-conditions it assembles its log record and commits
+// it to disk. Finally the update operation converts its lock to an
+// exclusive lock (thus excluding enquiry operations) and modifies the
+// virtual memory structures. An update lock is held while writing a
+// checkpoint. Note that these rules never exclude enquiry operations during
+// disk transfers, only during virtual memory operations."
+//
+// The one policy choice the matrix leaves open is what happens to new
+// shared requests while an upgrade to exclusive is waiting for readers to
+// drain: this implementation blocks them, so the upgrade cannot be starved
+// by a stream of enquiries. The exclusive section is as short as an
+// in-memory mutation, so the enquiry delay is bounded and tiny.
+package sulock
+
+import "sync"
+
+// Lock is a shared/update/exclusive lock. The zero value is ready to use.
+type Lock struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	readers   int  // holders of shared
+	updater   bool // the (single) holder of update or exclusive
+	exclusive bool // updater has upgraded
+	upgrading bool // updater is waiting for readers to drain
+}
+
+func (l *Lock) init() {
+	if l.cond == nil {
+		l.cond = sync.NewCond(&l.mu)
+	}
+}
+
+// Shared acquires the lock in shared mode; enquiries run under it. It
+// blocks while an exclusive holder exists or an upgrade is pending.
+func (l *Lock) Shared() {
+	l.mu.Lock()
+	l.init()
+	for l.exclusive || l.upgrading {
+		l.cond.Wait()
+	}
+	l.readers++
+	l.mu.Unlock()
+}
+
+// SharedUnlock releases one shared hold.
+func (l *Lock) SharedUnlock() {
+	l.mu.Lock()
+	l.init()
+	if l.readers <= 0 {
+		l.mu.Unlock()
+		panic("sulock: SharedUnlock without Shared")
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// Update acquires the lock in update mode: it excludes other updaters but
+// admits shared holders. Updates and checkpoints run under it.
+func (l *Lock) Update() {
+	l.mu.Lock()
+	l.init()
+	for l.updater {
+		l.cond.Wait()
+	}
+	l.updater = true
+	l.mu.Unlock()
+}
+
+// UpdateUnlock releases update mode without having upgraded (a checkpoint,
+// or an update whose preconditions failed).
+func (l *Lock) UpdateUnlock() {
+	l.mu.Lock()
+	l.init()
+	if !l.updater || l.exclusive {
+		l.mu.Unlock()
+		panic("sulock: UpdateUnlock without plain Update")
+	}
+	l.updater = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Upgrade converts the caller's update hold to exclusive, blocking until
+// all shared holders release. This is the paper's lock conversion performed
+// after the log entry is committed and before the virtual memory structures
+// are modified.
+func (l *Lock) Upgrade() {
+	l.mu.Lock()
+	l.init()
+	if !l.updater || l.exclusive {
+		l.mu.Unlock()
+		panic("sulock: Upgrade without Update")
+	}
+	l.upgrading = true
+	for l.readers > 0 {
+		l.cond.Wait()
+	}
+	l.upgrading = false
+	l.exclusive = true
+	l.mu.Unlock()
+}
+
+// ExclusiveUnlock releases an exclusive hold (acquired by Upgrade or
+// Exclusive), freeing both update and exclusive modes.
+func (l *Lock) ExclusiveUnlock() {
+	l.mu.Lock()
+	l.init()
+	if !l.exclusive {
+		l.mu.Unlock()
+		panic("sulock: ExclusiveUnlock without exclusive")
+	}
+	l.exclusive = false
+	l.updater = false
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// Exclusive acquires the lock directly in exclusive mode. The paper's
+// design never needs it; it exists for the E8 ablation, which holds
+// exclusive for a whole update (disk write included) to show what the
+// three-mode matrix buys.
+func (l *Lock) Exclusive() {
+	l.Update()
+	l.Upgrade()
+}
+
+// Holders reports the current holder counts (shared, update, exclusive);
+// used by tests and instrumentation.
+func (l *Lock) Holders() (shared int, update, exclusive bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.readers, l.updater, l.exclusive
+}

@@ -1,0 +1,432 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Mem is an in-memory FS with crash simulation.
+//
+// Durability model: file *data* becomes durable only when the file is
+// Synced; directory operations (Create of an empty file, Rename, Remove) are
+// durable immediately, as on a journalled file system with ordered metadata.
+// This is the model the paper's checkpoint-switch protocol is written
+// against — it fsyncs file contents before the version-file rename and
+// treats the rename itself as the atomic step.
+//
+// Crash() discards all unsynced data, simulating a transient failure.
+// CrashTorn(pageSize) persists, for each file with unsynced data, a random
+// page-aligned prefix of that data before discarding the rest, and marks the
+// final partially-persisted page damaged — matching the paper's hardware,
+// where "a partially written page will report an error when it is read".
+//
+// Damage(name, off, n) marks a byte range of a file's durable content
+// unreadable, simulating a hard media failure.
+type Mem struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	rng   *rand.Rand
+
+	// FailSync, when non-nil, is consulted before each Sync; returning an
+	// error makes the Sync fail without persisting. Used for fault
+	// injection in tests.
+	FailSync func(name string) error
+}
+
+// dirtyPageSize is the granularity at which unsynced in-place overwrites
+// are tracked, so CrashTorn can persist a random subset of dirty pages —
+// the torn multi-page update of the paper's §2.
+const dirtyPageSize = 512
+
+type memFile struct {
+	synced       []byte         // durable content
+	current      []byte         // content as the running program sees it
+	damaged      map[int64]bool // damaged byte offsets (durable content)
+	dirty        map[int64]bool // page indices overwritten since last sync
+	minDirty     int64          // lowest offset written since last sync; -1 = none
+	syncedExists bool           // whether the file survives a crash at all
+}
+
+// NewMem returns an empty in-memory file system. seed fixes the randomness
+// used by CrashTorn, keeping reliability experiments reproducible.
+func NewMem(seed int64) *Mem {
+	return &Mem{files: make(map[string]*memFile), rng: rand.New(rand.NewSource(seed))}
+}
+
+func (m *Mem) get(name string) (*memFile, error) {
+	if err := ValidName(name); err != nil {
+		return nil, err
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return f, nil
+}
+
+// Create implements FS.
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := ValidName(name); err != nil {
+		return nil, err
+	}
+	f := &memFile{damaged: make(map[int64]bool), minDirty: -1, syncedExists: true}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f, name: name, writable: true}, nil
+}
+
+// Open implements FS.
+func (m *Mem) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &memHandle{fs: m, f: f, name: name}, nil
+}
+
+// Append implements FS.
+func (m *Mem) Append(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := ValidName(name); err != nil {
+		return nil, err
+	}
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{damaged: make(map[int64]bool), minDirty: -1, syncedExists: true}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, f: f, name: name, writable: true, pos: int64(len(f.current))}, nil
+}
+
+// OpenRW implements FS.
+func (m *Mem) OpenRW(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.get(name)
+	if err != nil {
+		return nil, err
+	}
+	return &memHandle{fs: m, f: f, name: name, writable: true}, nil
+}
+
+// Rename implements FS. It is atomic and immediately durable.
+func (m *Mem) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.get(oldname)
+	if err != nil {
+		return err
+	}
+	if err := ValidName(newname); err != nil {
+		return err
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS; immediately durable.
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.get(name); err != nil {
+		return err
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// List implements FS.
+func (m *Mem) List() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.files))
+	for n := range m.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat implements FS.
+func (m *Mem) Stat(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.get(name)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(f.current)), nil
+}
+
+// Crash simulates a transient failure: every file reverts to its last
+// synced content, and files never synced since creation revert to the state
+// their metadata implies (they exist, empty-at-last-sync).
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if !f.syncedExists {
+			delete(m.files, name)
+			continue
+		}
+		f.current = append(f.current[:0:0], f.synced...)
+		f.dirty = nil
+		f.minDirty = -1
+	}
+}
+
+// CrashTorn is Crash, except that for each file with unsynced data a random
+// pageSize-aligned prefix of the pending bytes becomes durable first, and if
+// the prefix ends mid-page the final partial page is marked damaged so that
+// reading it fails — the paper's torn-page model.
+func (m *Mem) CrashTorn(pageSize int) {
+	if pageSize <= 0 {
+		pageSize = 512
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, f := range m.files {
+		if !f.syncedExists {
+			delete(m.files, name)
+			continue
+		}
+		// In-place overwrites within the synced extent: each dirty page
+		// independently persists or reverts, so a multi-page in-place
+		// update can land half-written — §2's torn-update hazard.
+		pages := make([]int64, 0, len(f.dirty))
+		for pg := range f.dirty {
+			pages = append(pages, pg)
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		for _, pg := range pages {
+			start := pg * dirtyPageSize
+			end := start + dirtyPageSize
+			if end > int64(len(f.synced)) {
+				end = int64(len(f.synced))
+			}
+			if end > int64(len(f.current)) {
+				end = int64(len(f.current))
+			}
+			if start >= end {
+				continue // beyond the synced extent: append logic below
+			}
+			if m.rng.Intn(2) == 0 {
+				copy(f.synced[start:end], f.current[start:end])
+			}
+		}
+		if len(f.current) > len(f.synced) {
+			pending := len(f.current) - len(f.synced)
+			keep := m.rng.Intn(pending + 1)
+			durable := append(f.synced, f.current[len(f.synced):len(f.synced)+keep]...)
+			if keep%pageSize != 0 && m.rng.Intn(2) == 0 {
+				// The last, partially written page reads back
+				// as an error.
+				pageStart := int64(len(durable) - keep%pageSize)
+				for off := pageStart; off < int64(len(durable)); off++ {
+					f.damaged[off] = true
+				}
+			}
+			f.synced = durable
+		}
+		f.current = append(f.synced[:0:0], f.synced...)
+		f.dirty = nil
+		f.minDirty = -1
+	}
+}
+
+// Damage marks n bytes at off of the named file's content unreadable,
+// simulating a hard media failure.
+func (m *Mem) Damage(name string, off, n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.get(name)
+	if err != nil {
+		return err
+	}
+	for i := off; i < off+n; i++ {
+		f.damaged[i] = true
+	}
+	return nil
+}
+
+// TotalBytes reports the summed sizes of all files: the design's disk-space
+// cost, measured in experiment E7.
+func (m *Mem) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, f := range m.files {
+		total += int64(len(f.current))
+	}
+	return total
+}
+
+// memHandle is an open handle onto a memFile.
+type memHandle struct {
+	fs       *Mem
+	f        *memFile
+	name     string
+	pos      int64
+	writable bool
+	closed   bool
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return int64(len(h.f.current)), nil
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	n, err := h.readAtLocked(p, h.pos)
+	h.pos += int64(n)
+	return n, err
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.readAtLocked(p, off)
+}
+
+func (h *memHandle) readAtLocked(p []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("vfs: read on closed file %s", h.name)
+	}
+	if off >= int64(len(h.f.current)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.current[off:])
+	for i := off; i < off+int64(n); i++ {
+		if h.f.damaged[i] {
+			return 0, fmt.Errorf("%w: %s at offset %d", ErrDamaged, h.name, i)
+		}
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	n, err := h.writeAtLocked(p, h.pos)
+	h.pos += int64(n)
+	return n, err
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.writeAtLocked(p, off)
+}
+
+func (h *memHandle) writeAtLocked(p []byte, off int64) (int, error) {
+	if h.closed {
+		return 0, fmt.Errorf("vfs: write on closed file %s", h.name)
+	}
+	if !h.writable {
+		return 0, fmt.Errorf("vfs: write on read-only file %s", h.name)
+	}
+	if grow := off + int64(len(p)) - int64(len(h.f.current)); grow > 0 {
+		h.f.current = append(h.f.current, make([]byte, grow)...)
+	}
+	copy(h.f.current[off:], p)
+	if len(p) > 0 {
+		if h.f.dirty == nil {
+			h.f.dirty = make(map[int64]bool)
+		}
+		for pg := off / dirtyPageSize; pg <= (off+int64(len(p))-1)/dirtyPageSize; pg++ {
+			h.f.dirty[pg] = true
+		}
+		if h.f.minDirty < 0 || off < h.f.minDirty {
+			h.f.minDirty = off
+		}
+	}
+	// Overwriting repairs damage at those offsets once synced; track by
+	// clearing damage on write (the new data is what subsequent reads
+	// should see).
+	for i := off; i < off+int64(len(p)); i++ {
+		delete(h.f.damaged, i)
+	}
+	return len(p), nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = h.pos
+	case io.SeekEnd:
+		base = int64(len(h.f.current))
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("vfs: negative seek")
+	}
+	h.pos = base + offset
+	return h.pos, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if !h.writable {
+		return fmt.Errorf("vfs: truncate on read-only file %s", h.name)
+	}
+	cur := int64(len(h.f.current))
+	switch {
+	case size < cur:
+		h.f.current = h.f.current[:size]
+	case size > cur:
+		h.f.current = append(h.f.current, make([]byte, size-cur)...)
+	}
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.FailSync != nil {
+		if err := h.fs.FailSync(h.name); err != nil {
+			return err
+		}
+	}
+	// Fast path for append-only files (logs): when nothing within the
+	// already-synced extent was overwritten, only the new tail needs
+	// copying. This keeps a growing log's sync cost linear overall.
+	if h.f.minDirty >= int64(len(h.f.synced)) && len(h.f.current) >= len(h.f.synced) {
+		h.f.synced = append(h.f.synced, h.f.current[len(h.f.synced):]...)
+	} else {
+		h.f.synced = append(h.f.synced[:0:0], h.f.current...)
+	}
+	h.f.syncedExists = true
+	h.f.dirty = nil
+	h.f.minDirty = -1
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

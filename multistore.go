@@ -1,0 +1,22 @@
+package smalldb
+
+import (
+	"smalldb/internal/multistore"
+)
+
+// MultiConfig configures a MultiStore: the §7 extension where one large
+// database is handled as several independently checkpointed partitions
+// committing to a single shared, segmented log. See the package
+// documentation of internal/multistore for the flushing rules.
+type MultiConfig = multistore.Config
+
+// MultiStore is a set of partitions over one shared log. Each partition
+// behaves like a Store (View/Apply with the same Update contract), but
+// Checkpoint takes a partition name and blocks only that partition.
+type MultiStore = multistore.Set
+
+// ErrNoPartition is returned for unknown partition names.
+var ErrNoPartition = multistore.ErrNoPartition
+
+// OpenMulti recovers (or initializes) a partitioned store set.
+func OpenMulti(cfg MultiConfig) (*MultiStore, error) { return multistore.Open(cfg) }

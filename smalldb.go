@@ -1,0 +1,99 @@
+// Package smalldb is a small-database engine in the style of Birrell,
+// Jones and Wobber, "A Simple and Efficient Implementation for Small
+// Databases" (SOSP 1987): the entire database lives as an ordinary strongly
+// typed Go data structure in memory; every update is a single-shot
+// transaction committed by one disk write to a redo log; checkpoints of the
+// whole structure bound restart time; recovery reloads the latest
+// checkpoint and replays the log.
+//
+// It suits the databases the paper describes: up to tens of megabytes,
+// moderate update rates (bursts of tens per second), no multi-step
+// client-visible transactions — user accounts, name services, network
+// configuration, file directories, and the other small organizational
+// databases of operating and distributed systems.
+//
+// # Usage
+//
+// Define a root type holding the whole database, and one struct per update
+// operation implementing Update (Verify checks preconditions; Apply
+// mutates). Register both, then Open a store:
+//
+//	type Accounts struct{ ByName map[string]*Account }
+//
+//	type AddAccount struct{ Name string; UID int }
+//	func (u *AddAccount) Verify(root any) error { ... }
+//	func (u *AddAccount) Apply(root any) error  { ... }
+//
+//	func init() {
+//	    smalldb.Register(&Accounts{})
+//	    smalldb.RegisterUpdate(&AddAccount{})
+//	}
+//
+//	fs, _ := smalldb.NewDirFS("/var/lib/accounts")
+//	st, _ := smalldb.Open(smalldb.Config{
+//	    FS:      fs,
+//	    NewRoot: func() any { return &Accounts{ByName: map[string]*Account{}} },
+//	    Retain:  1,
+//	})
+//	defer st.Close()
+//
+//	st.Apply(&AddAccount{Name: "amy", UID: 1001})   // one disk write
+//	st.View(func(root any) error {                  // no disk at all
+//	    a := root.(*Accounts).ByName["amy"]; ...
+//	    return nil
+//	})
+//
+// Reads (View) touch only memory. Updates (Apply) cost one disk write. A
+// checkpoint (Checkpoint, or the MaxLogBytes/MaxLogEntries policies, or
+// CheckpointEvery) trades update availability for restart time, exactly the
+// knob the paper discusses.
+package smalldb
+
+import (
+	"smalldb/internal/core"
+	"smalldb/internal/pickle"
+	"smalldb/internal/vfs"
+)
+
+// Update is a single-shot transaction against the database root. See
+// core.Update for the Verify/Apply contract.
+type Update = core.Update
+
+// Config configures a Store; see core.Config for the fields.
+type Config = core.Config
+
+// Store is an open database.
+type Store = core.Store
+
+// Stats is the store's cumulative instrumentation, with per-phase update
+// timers matching the paper's §5 breakdown.
+type Stats = core.Stats
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = core.ErrClosed
+
+// Open recovers (or initializes) a store.
+func Open(cfg Config) (*Store, error) { return core.Open(cfg) }
+
+// Register records a concrete type (the database root, or any type stored
+// in interface-typed fields) for pickling.
+func Register(v any) { pickle.Register(v) }
+
+// RegisterName is Register under an explicit stable name, which survives
+// renaming the Go type.
+func RegisterName(name string, v any) { pickle.RegisterName(name, v) }
+
+// RegisterUpdate registers an update type for pickling into log entries.
+func RegisterUpdate(u Update) { core.RegisterUpdate(u) }
+
+// FS is the flat-directory file system abstraction the store writes its
+// checkpoint and log files into.
+type FS = vfs.FS
+
+// NewDirFS returns an FS backed by a directory on the real file system,
+// creating the directory if needed.
+func NewDirFS(dir string) (FS, error) { return vfs.NewOS(dir) }
+
+// NewMemFS returns an in-memory FS with crash simulation, for tests. The
+// seed fixes its randomness.
+func NewMemFS(seed int64) *vfs.Mem { return vfs.NewMem(seed) }
