@@ -10,6 +10,8 @@
 //	logdump -dir /var/lib/nsd               # summarize the directory
 //	logdump -dir /var/lib/nsd -log 3        # dump logfile3's entries
 //	logdump -dir /var/lib/nsd -checkpoint 3 # dump checkpoint3's contents
+//	logdump -dir /var/lib/nsd -stats        # payload-size histograms per log
+//	logdump -dir /var/lib/nsd -stats -log 3 # histogram for one log file
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"smalldb/internal/checkpoint"
+	"smalldb/internal/obs"
 	"smalldb/internal/pickle"
 	"smalldb/internal/vfs"
 	"smalldb/internal/wal"
@@ -31,6 +34,7 @@ func main() {
 		archV  = flag.Uint64("archive", 0, "dump the entries of archive-logfile<N> (§4 audit trail)")
 		cpV    = flag.Uint64("checkpoint", 0, "dump the contents of checkpoint<N>")
 		maxLen = flag.Int("max", 0, "dump at most this many log entries (0 = all)")
+		stats  = flag.Bool("stats", false, "print entry-count, byte and payload-size histogram summaries instead of entries")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -43,6 +47,12 @@ func main() {
 	}
 
 	switch {
+	case *stats && *logV > 0:
+		statsLogFile(fs, checkpoint.LogName(*logV))
+	case *stats && *archV > 0:
+		statsLogFile(fs, checkpoint.ArchiveLogName(*archV))
+	case *stats:
+		statsAll(fs)
 	case *logV > 0:
 		dumpLogFile(fs, checkpoint.LogName(*logV), *maxLen)
 	case *archV > 0:
@@ -92,6 +102,86 @@ func summarize(fs vfs.FS) {
 		})
 		fmt.Printf("%s: %d entries (seq %d..%d)\n", n, entries, first, last)
 	}
+}
+
+// statsAll prints a payload-size summary line for every log in the
+// directory, current and archived.
+func statsAll(fs vfs.FS) {
+	names, err := fs.List()
+	if err != nil {
+		fatal("%v", err)
+	}
+	found := false
+	for _, n := range names {
+		if !strings.HasPrefix(n, "logfile") && !strings.HasPrefix(n, "archive-logfile") {
+			continue
+		}
+		found = true
+		statsLogFile(fs, n)
+	}
+	if !found {
+		fmt.Println("no log files")
+	}
+}
+
+// statsLogFile replays one log, feeding payload sizes into a histogram,
+// and prints count/bytes/percentile summaries plus the distribution.
+func statsLogFile(fs vfs.FS, name string) {
+	size, err := fs.Stat(name)
+	if err != nil {
+		fatal("%v", err)
+	}
+	start, ok, err := wal.FirstSeq(fs, name)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if !ok {
+		fmt.Printf("%s: empty (%d bytes on disk)\n", name, size)
+		return
+	}
+	// Skip damaged entries so a partly unreadable log still summarizes.
+	var h obs.Histogram
+	var first, last uint64
+	res, err := wal.Replay(fs, name, start, wal.ReplayOptions{SkipDamaged: true}, func(seq uint64, payload []byte) error {
+		if first == 0 {
+			first = seq
+		}
+		last = seq
+		h.Observe(int64(len(payload)))
+		return nil
+	})
+	if err != nil {
+		fatal("replaying %s: %v", name, err)
+	}
+	s := h.Snapshot()
+	fmt.Printf("%s: %d entries (seq %d..%d), %d bytes on disk (%.1f%% framing overhead)\n",
+		name, s.Count, first, last, size, overheadPct(size, s.Sum))
+	fmt.Printf("  payload sizes: %s\n", s.SizeString())
+	if res.Truncated {
+		fmt.Printf("  (torn tail entry discarded at offset %d)\n", res.GoodSize)
+	}
+	if res.Damaged > 0 {
+		fmt.Printf("  (%d damaged entries skipped)\n", res.Damaged)
+	}
+	fmt.Print(s.Bar(40, sizeFmt))
+}
+
+func sizeFmt(v int64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%dMB", v>>20)
+	case v >= 1<<10:
+		return fmt.Sprintf("%dKB", v>>10)
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}
+
+func overheadPct(disk, payload int64) float64 {
+	if disk <= 0 {
+		return 0
+	}
+	return 100 * float64(disk-payload) / float64(disk)
 }
 
 func dumpLogFile(fs vfs.FS, name string, max int) {

@@ -7,10 +7,17 @@
 //
 //	nsd -dir /var/lib/nsd -listen :7001
 //	nsd -dir /var/lib/nsd2 -listen :7002 -name beta -peers alpha=localhost:7001
+//	nsd -dir /var/lib/nsd -listen :7001 -debug :7070 -slow 50ms
 //
 // Without -name, the daemon runs unreplicated and serves the "NS" service.
 // With -name, it additionally serves the "Replica" service, pushes updates
 // to its peers, and runs anti-entropy every -anti-entropy interval.
+//
+// With -debug, the daemon serves a live observability endpoint: /metrics
+// (JSON counters and histogram percentiles), /stats (human-readable, with
+// ?buckets=1 for full distributions and a recent-events ring), and
+// /debug/pprof/. With -slow, operations slower than the threshold (and all
+// errors) are logged.
 package main
 
 import (
@@ -20,11 +27,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"smalldb/internal/nameserver"
+	"smalldb/internal/obs"
 	"smalldb/internal/replica"
 	"smalldb/internal/rpc"
 	"smalldb/internal/vfs"
@@ -39,6 +48,8 @@ func main() {
 		checkpoint  = flag.Duration("checkpoint", 24*time.Hour, "checkpoint interval (the paper's nightly checkpoint)")
 		antiEntropy = flag.Duration("anti-entropy", time.Minute, "anti-entropy interval (replicated mode)")
 		retain      = flag.Int("retain", 1, "previous checkpoint+log pairs kept for hard-error recovery")
+		debug       = flag.String("debug", "", "serve /metrics, /stats and /debug/pprof on this address")
+		slow        = flag.Duration("slow", 0, "log operations slower than this (0 disables)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -51,11 +62,25 @@ func main() {
 		log.Fatalf("nsd: %v", err)
 	}
 
+	// The registry is always built (it is one map); -debug decides
+	// whether it is served. The tracer fans out to the slow-op logger
+	// and to the /stats recent-events ring.
+	reg := obs.NewRegistry()
+	recorder := obs.NewRecorder(128)
+	var tracer obs.Tracer = recorder
+	if *slow > 0 {
+		tracer = obs.Multi(recorder, obs.SlowOps(*slow, log.Printf))
+	}
+	startTime := time.Now()
+	reg.Register("proc_uptime_seconds", func() any { return int64(time.Since(startTime).Seconds()) })
+	reg.Register("proc_goroutines", func() any { return runtime.NumGoroutine() })
+
 	srv := rpc.NewServer()
+	srv.Instrument(reg, tracer)
 	var closer interface{ Close() error }
 
 	if *name == "" {
-		ns, err := nameserver.Open(nameserver.Config{FS: fs, Retain: *retain})
+		ns, err := nameserver.Open(nameserver.Config{FS: fs, Retain: *retain, Obs: reg, Tracer: tracer})
 		if err != nil {
 			log.Fatalf("nsd: open: %v", err)
 		}
@@ -66,7 +91,7 @@ func main() {
 		closer = ns
 		log.Printf("nsd: serving %s (unreplicated) on %s", *dir, *listen)
 	} else {
-		node, err := replica.Open(replica.Config{Name: *name, FS: fs, Retain: *retain})
+		node, err := replica.Open(replica.Config{Name: *name, FS: fs, Retain: *retain, Obs: reg, Tracer: tracer})
 		if err != nil {
 			log.Fatalf("nsd: open replica: %v", err)
 		}
@@ -89,6 +114,15 @@ func main() {
 		log.Printf("nsd: serving %s as replica %q on %s", *dir, *name, *listen)
 	}
 
+	var admin *obs.AdminServer
+	if *debug != "" {
+		admin, err = obs.ServeAdmin(*debug, reg, recorder)
+		if err != nil {
+			log.Fatalf("nsd: debug listen: %v", err)
+		}
+		log.Printf("nsd: debug endpoint on http://%s (/metrics /stats /debug/pprof/)", admin.Addr)
+	}
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("nsd: listen: %v", err)
@@ -104,6 +138,7 @@ func main() {
 	<-sig
 	log.Printf("nsd: shutting down")
 	srv.Close()
+	admin.Close()
 	if err := closer.Close(); err != nil {
 		log.Printf("nsd: close: %v", err)
 	}

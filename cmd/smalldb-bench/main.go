@@ -8,25 +8,41 @@
 //	smalldb-bench -run e2,e4,e9   # run a subset
 //	smalldb-bench -quick          # small iteration counts (seconds, not minutes)
 //	smalldb-bench -list           # list experiment ids
+//	smalldb-bench -json out.json  # also run the metrics workload and dump
+//	                              # per-phase percentile latencies as JSON
+//
+// The -json snapshot is the bench-trajectory record: an instrumented store
+// runs a fixed update/enquiry workload and the resulting obs metrics —
+// op counts plus p50/p90/p99/max for the paper's verify/pickle/commit/apply
+// phases — are written to the named file, so successive PRs can compare
+// BENCH_*.json files rather than eyeballing means.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"smalldb/internal/bench"
 	"smalldb/internal/disk"
+	"smalldb/internal/nameserver"
+	"smalldb/internal/obs"
+	"smalldb/internal/vfs"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		quick   = flag.Bool("quick", false, "shrink iteration counts")
-		entries = flag.Int("entries", 0, "database entries (default ≈1 MB worth)")
-		seed    = flag.Int64("seed", 1987, "random seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		quick    = flag.Bool("quick", false, "shrink iteration counts")
+		entries  = flag.Int("entries", 0, "database entries (default ≈1 MB worth)")
+		seed     = flag.Int64("seed", 1987, "random seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.String("json", "", "write the metrics workload's snapshot to this file")
+		jsonOps  = flag.Int("json-ops", 0, "updates in the metrics workload (default 2000, 200 with -quick)")
+		jsonOnly = flag.Bool("json-only", false, "run only the metrics workload, skipping the experiments")
 	)
 	flag.Parse()
 
@@ -37,19 +53,105 @@ func main() {
 		return
 	}
 
-	env := bench.Env{Out: os.Stdout, Quick: *quick, DBEntries: *entries, Seed: *seed}
-	var ids []string
-	if *run != "" {
-		for _, id := range strings.Split(*run, ",") {
-			ids = append(ids, strings.TrimSpace(id))
+	if !*jsonOnly {
+		env := bench.Env{Out: os.Stdout, Quick: *quick, DBEntries: *entries, Seed: *seed}
+		var ids []string
+		if *run != "" {
+			for _, id := range strings.Split(*run, ",") {
+				ids = append(ids, strings.TrimSpace(id))
+			}
+		}
+		prof := disk.MicroVAX
+		fmt.Println("smalldb experiment harness — reproducing Birrell/Jones/Wobber, SOSP 1987")
+		fmt.Printf("disk model: %s (%v/write op, %dKB/s streaming, CPU ×%.0f)\n",
+			prof.Name, prof.PerOpWrite, prof.WriteBytesPerSec>>10, prof.CPUSlowdown)
+		if err := bench.Run(env, ids...); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
 	}
-	prof := disk.MicroVAX
-	fmt.Println("smalldb experiment harness — reproducing Birrell/Jones/Wobber, SOSP 1987")
-	fmt.Printf("disk model: %s (%v/write op, %dKB/s streaming, CPU ×%.0f)\n",
-		prof.Name, prof.PerOpWrite, prof.WriteBytesPerSec>>10, prof.CPUSlowdown)
-	if err := bench.Run(env, ids...); err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+
+	if *jsonOut != "" {
+		ops := *jsonOps
+		if ops == 0 {
+			ops = 2000
+			if *quick {
+				ops = 200
+			}
+		}
+		if err := writeMetricsJSON(*jsonOut, ops, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmetrics snapshot (%d updates) written to %s\n", ops, *jsonOut)
 	}
+}
+
+// phaseJSON is one phase's latency summary in the -json snapshot.
+type phaseJSON struct {
+	Count  uint64 `json:"count"`
+	MeanNS int64  `json:"mean_ns"`
+	P50NS  int64  `json:"p50_ns"`
+	P90NS  int64  `json:"p90_ns"`
+	P99NS  int64  `json:"p99_ns"`
+	MaxNS  int64  `json:"max_ns"`
+}
+
+func phase(s obs.Snapshot) phaseJSON {
+	return phaseJSON{Count: s.Count, MeanNS: s.Mean, P50NS: s.P50, P90NS: s.P90, P99NS: s.P99, MaxNS: s.Max}
+}
+
+// writeMetricsJSON runs the fixed metrics workload — an instrumented
+// in-memory store under a mixed update/enquiry load — and writes the
+// resulting snapshot.
+func writeMetricsJSON(path string, ops int, seed int64) error {
+	reg := obs.NewRegistry()
+	ns, err := nameserver.Open(nameserver.Config{FS: vfs.NewMem(seed), Obs: reg})
+	if err != nil {
+		return err
+	}
+	defer ns.Close()
+
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		name := fmt.Sprintf("bench/dir%d/entry%d", i%31, i)
+		if err := ns.Set(name, fmt.Sprintf("value-%d", i)); err != nil {
+			return err
+		}
+		// One enquiry per update keeps the read path in the snapshot.
+		if _, err := ns.Lookup(name); err != nil {
+			return err
+		}
+	}
+	if err := ns.Checkpoint(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	st := ns.Stats()
+
+	out := map[string]any{
+		"schema":     "smalldb-bench-metrics/v1",
+		"ops":        map[string]uint64{"updates": st.Updates, "enquiries": st.Enquiries, "checkpoints": st.Checkpoints},
+		"elapsed_ns": elapsed.Nanoseconds(),
+		"phases": map[string]phaseJSON{
+			"verify":            phase(st.VerifyDist),
+			"pickle":            phase(st.PickleDist),
+			"commit":            phase(st.CommitDist),
+			"apply":             phase(st.ApplyDist),
+			"checkpoint_pickle": phase(st.CheckpointPickleDist),
+			"checkpoint_io":     phase(st.CheckpointIODist),
+		},
+		"metrics": reg.Snapshot(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -4,8 +4,11 @@
 package smalldb_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -244,5 +247,116 @@ func TestLogdumpOnRealDirectory(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "Tree") {
 		t.Errorf("checkpoint dump missing root:\n%s", out)
+	}
+}
+
+// httpGet fetches a debug-endpoint path, retrying briefly while the
+// listener comes up.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	var lastErr error
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("reading %s: %v", url, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	t.Fatalf("GET %s never succeeded: %v", url, lastErr)
+	return 0, ""
+}
+
+// TestDebugEndpoint starts nsd with -debug and checks that the live
+// observability endpoint serves /metrics (JSON with non-zero update
+// counters after traffic), /stats and /debug/pprof/, and that
+// logdump -stats summarizes the resulting log.
+func TestDebugEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	bin := buildTools(t)
+	dbdir := t.TempDir()
+	addr := freePort(t)
+	debugAddr := freePort(t)
+
+	daemon := exec.Command(filepath.Join(bin, "nsd"),
+		"-dir", dbdir, "-listen", addr, "-debug", debugAddr, "-slow", "1ns")
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		daemon.Process.Signal(os.Interrupt)
+		daemon.Wait()
+	}()
+	waitForServer(t, addr)
+	waitForServer(t, debugAddr)
+
+	for i := 0; i < 7; i++ {
+		if out, err := nsctl(t, bin, addr, "set", fmt.Sprintf("obs/k%d", i), "v"); err != nil {
+			t.Fatalf("set: %v\n%s", err, out)
+		}
+	}
+	if out, err := nsctl(t, bin, addr, "lookup", "obs/k3"); err != nil {
+		t.Fatalf("lookup: %v\n%s", err, out)
+	}
+
+	base := "http://" + debugAddr
+
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var metrics map[string]any
+	if err := json.Unmarshal([]byte(body), &metrics); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if got, _ := metrics["core_updates"].(float64); got != 7 {
+		t.Errorf("core_updates = %v, want 7", metrics["core_updates"])
+	}
+	if got, _ := metrics["rpc_requests"].(float64); got < 8 {
+		t.Errorf("rpc_requests = %v, want ≥ 8", metrics["rpc_requests"])
+	}
+	commit, ok := metrics["core_update_commit_ns"].(map[string]any)
+	if !ok {
+		t.Fatalf("core_update_commit_ns = %v, want histogram object", metrics["core_update_commit_ns"])
+	}
+	if got, _ := commit["count"].(float64); got != 7 {
+		t.Errorf("commit histogram count = %v, want 7", commit["count"])
+	}
+	if p50, _ := commit["p50"].(float64); p50 <= 0 {
+		t.Errorf("commit p50 = %v, want > 0", commit["p50"])
+	}
+
+	code, body = httpGet(t, base+"/stats")
+	if code != http.StatusOK || !strings.Contains(body, "core_updates") {
+		t.Errorf("/stats status %d body:\n%s", code, body)
+	}
+	if !strings.Contains(body, "update.commit") {
+		t.Errorf("/stats missing traced events:\n%s", body)
+	}
+
+	if code, _ := httpGet(t, base+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+
+	// logdump -stats reads the directory the daemon just wrote.
+	daemon.Process.Signal(os.Interrupt)
+	daemon.Wait()
+	out, err := exec.Command(filepath.Join(bin, "logdump"), "-dir", dbdir, "-stats").CombinedOutput()
+	if err != nil {
+		t.Fatalf("logdump -stats: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "logfile1: 7 entries") || !strings.Contains(text, "payload sizes:") {
+		t.Errorf("logdump -stats output:\n%s", text)
 	}
 }

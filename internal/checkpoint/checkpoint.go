@@ -29,7 +29,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"smalldb/internal/obs"
 	"smalldb/internal/vfs"
 )
 
@@ -169,6 +171,9 @@ type Options struct {
 	// trail. Archived logs are never read by recovery; logdump and
 	// Store.History read them.
 	ArchiveLogs bool
+	// Obs, when non-nil, receives the protocol's metrics:
+	// checkpoint_switches, checkpoint_switch_ns and checkpoint_bytes.
+	Obs *obs.Registry
 }
 
 // Recover inspects the directory, determines the current version, finishes
@@ -315,10 +320,19 @@ func Switch(fs vfs.FS, cur State, write func(w io.Writer) error, retain int) (St
 
 // SwitchWith is Switch with full Options.
 func SwitchWith(fs vfs.FS, cur State, write func(w io.Writer) error, opts Options) (State, error) {
+	start := time.Now()
 	next := cur.Version + 1
-	if err := writeCheckpointFile(fs, CheckpointName(next), write); err != nil {
+	var written int64
+	counted := func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		err := write(cw)
+		written = cw.n
+		return err
+	}
+	if err := writeCheckpointFile(fs, CheckpointName(next), counted); err != nil {
 		return cur, err
 	}
+	opts.Obs.Histogram("checkpoint_bytes").Observe(written)
 	if err := createEmptySynced(fs, LogName(next)); err != nil {
 		return cur, err
 	}
@@ -335,5 +349,22 @@ func SwitchWith(fs vfs.FS, cur State, write func(w io.Writer) error, opts Option
 	if err := fs.Rename(newVersionFile, versionFile); err != nil {
 		return cur, err
 	}
-	return cleanup(fs, next, opts)
+	st, err := cleanup(fs, next, opts)
+	if err == nil {
+		opts.Obs.Counter("checkpoint_switches").Inc()
+		opts.Obs.Histogram("checkpoint_switch_ns").ObserveSince(start)
+	}
+	return st, err
+}
+
+// countingWriter counts the bytes streamed through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

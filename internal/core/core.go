@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"smalldb/internal/checkpoint"
+	"smalldb/internal/obs"
 	"smalldb/internal/pickle"
 	"smalldb/internal/sulock"
 	"smalldb/internal/vfs"
@@ -116,12 +117,24 @@ type Config struct {
 	// only as an ablation (E5/E9) quantifying what the paper's one disk
 	// write per update buys and costs.
 	UnsafeNoSync bool
+	// Obs, when non-nil, receives the store's metrics (core_*), the
+	// log's (wal_*), the checkpoint protocol's (checkpoint_*) and the
+	// three-mode lock's (core_lock_*), for export through the debug
+	// endpoint. The store keeps its phase histograms regardless, so
+	// Stats() always carries percentiles.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives structured events: update.commit,
+	// checkpoint.start/finish, restart.replay, log.flush, lock.wait.
+	Tracer obs.Tracer
 }
 
 // Stats is a snapshot of the store's cumulative instrumentation. The phase
 // timers decompose an update exactly as the paper's §5 does: exploring the
 // structure (verify), converting parameters to bits (pickle), the disk
 // write of the log entry (commit), and modifying the structure (apply).
+// The cumulative sums are kept for compatibility; the Dist fields carry the
+// full distributions (histogram snapshots in nanoseconds) so callers can
+// read p50/p90/p99/max per phase, not just means.
 type Stats struct {
 	Enquiries   uint64
 	Updates     uint64
@@ -132,8 +145,18 @@ type Stats struct {
 	CommitTime time.Duration
 	ApplyTime  time.Duration
 
+	// Per-update phase latency distributions, in nanoseconds.
+	VerifyDist obs.Snapshot
+	PickleDist obs.Snapshot
+	CommitDist obs.Snapshot
+	ApplyDist  obs.Snapshot
+
 	CheckpointPickleTime time.Duration
 	CheckpointIOTime     time.Duration
+
+	// Per-checkpoint phase distributions, in nanoseconds.
+	CheckpointPickleDist obs.Snapshot
+	CheckpointIODist     obs.Snapshot
 
 	RestartCheckpointTime time.Duration
 	RestartReplayTime     time.Duration
@@ -166,11 +189,78 @@ type Store struct {
 
 	checkpointing atomic.Bool // auto-checkpoint in flight
 
+	// statMu guards stats. Every write to stats — including the
+	// restart-time fields set during Open — goes through recordStats, so
+	// Stats() can be called concurrently with anything.
 	statMu sync.Mutex
 	stats  Stats
 
+	// hist holds the store-private phase histograms backing the Dist
+	// fields of Stats; always non-nil, shared with cfg.Obs when set.
+	hist struct {
+		verify, pickle, commit, apply *obs.Histogram
+		cpPickle, cpIO                *obs.Histogram
+	}
+	// ctr mirrors the headline counters into cfg.Obs (nil-safe when no
+	// registry is configured).
+	ctr struct {
+		enquiries, updates, checkpoints *obs.Counter
+	}
+	tracer obs.Tracer
+
 	stopTimer chan struct{}
 	timerWG   sync.WaitGroup
+}
+
+// initObs builds the store's instrumentation: private phase histograms
+// (always), plus registration into cfg.Obs and lock instrumentation when a
+// registry or tracer is configured.
+func (s *Store) initObs() {
+	s.tracer = s.cfg.Tracer
+	s.hist.verify = obs.NewHistogram()
+	s.hist.pickle = obs.NewHistogram()
+	s.hist.commit = obs.NewHistogram()
+	s.hist.apply = obs.NewHistogram()
+	s.hist.cpPickle = obs.NewHistogram()
+	s.hist.cpIO = obs.NewHistogram()
+	reg := s.cfg.Obs
+	s.ctr.enquiries = reg.Counter("core_enquiries")
+	s.ctr.updates = reg.Counter("core_updates")
+	s.ctr.checkpoints = reg.Counter("core_checkpoints")
+	if reg != nil {
+		reg.Register("core_update_verify_ns", s.hist.verify)
+		reg.Register("core_update_pickle_ns", s.hist.pickle)
+		reg.Register("core_update_commit_ns", s.hist.commit)
+		reg.Register("core_update_apply_ns", s.hist.apply)
+		reg.Register("core_checkpoint_pickle_ns", s.hist.cpPickle)
+		reg.Register("core_checkpoint_io_ns", s.hist.cpIO)
+		reg.Register("core_log_bytes", func() any {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.log == nil {
+				return int64(0)
+			}
+			return s.log.Size()
+		})
+		reg.Register("core_log_entries", func() any {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return s.logEntries
+		})
+		reg.Register("core_applied_seq", func() any { return s.AppliedSeq() })
+		reg.Register("core_checkpoint_version", func() any { return s.Version() })
+	}
+	if reg != nil || s.tracer != nil {
+		s.lock.Instrument(reg, "core", s.tracer)
+	}
+}
+
+// recordStats is the single mutation path for s.stats; all writers funnel
+// through it so the lock discipline lives in one place.
+func (s *Store) recordStats(fn func(st *Stats)) {
+	s.statMu.Lock()
+	fn(&s.stats)
+	s.statMu.Unlock()
 }
 
 // ErrClosed is returned by operations on a closed store.
@@ -194,6 +284,7 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("core: Config.NewRoot is required")
 	}
 	s := &Store{cfg: cfg}
+	s.initObs()
 
 	st, err := checkpoint.RecoverWith(cfg.FS, s.cpOpts())
 	if errors.Is(err, checkpoint.ErrNotInitialized) {
@@ -232,7 +323,7 @@ func (s *Store) initFresh() (*Store, error) {
 // it falls back: load the previous checkpoint, replay the previous log,
 // then replay the current log (§4).
 func (s *Store) load(st checkpoint.State) error {
-	replayOpts := wal.ReplayOptions{Repair: true, SkipDamaged: s.cfg.SkipDamagedLogEntries}
+	replayOpts := wal.ReplayOptions{Repair: true, SkipDamaged: s.cfg.SkipDamagedLogEntries, Obs: s.cfg.Obs}
 
 	hdr, cpTime, err := s.readCheckpoint(st.CheckpointName())
 	var res wal.ReplayResult
@@ -272,14 +363,14 @@ func (s *Store) load(st checkpoint.State) error {
 	s.cpState = st
 	s.applied = res.NextSeq - 1
 	s.logEntries = int64(res.Entries)
-	s.statMu.Lock()
-	s.stats.RestartCheckpointTime = cpTime
-	s.stats.RestartEntries = res.Entries
-	s.stats.RestartSkippedDamaged = res.Damaged
-	s.stats.RestartTornTail = res.Truncated
-	s.stats.RestartUsedFallback = usedFallback
-	s.stats.AppliedSeq = s.applied
-	s.statMu.Unlock()
+	s.recordStats(func(stats *Stats) {
+		stats.RestartCheckpointTime = cpTime
+		stats.RestartEntries = res.Entries
+		stats.RestartSkippedDamaged = res.Damaged
+		stats.RestartTornTail = res.Truncated
+		stats.RestartUsedFallback = usedFallback
+		stats.AppliedSeq = s.applied
+	})
 	return nil
 }
 
@@ -304,6 +395,8 @@ func (s *Store) readCheckpoint(name string) (*header, time.Duration, error) {
 // result. When the log was replayed after a fallback checkpoint, firstSeq
 // overrides the header's.
 func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wal.ReplayOptions) (wal.ReplayResult, error) {
+	// Progress events let an operator watch a long restart converge.
+	const progressEvery = 10000
 	start := time.Now()
 	res, err := wal.Replay(s.cfg.FS, logName, firstSeq, opts, func(seq uint64, payload []byte) error {
 		var rec logRecord
@@ -316,11 +409,18 @@ func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wa
 		if err := rec.U.Apply(hdr.Root); err != nil {
 			return fmt.Errorf("core: replaying entry %d: %w", seq, err)
 		}
+		if n := seq - firstSeq + 1; n%progressEvery == 0 {
+			obs.Emit(s.tracer, obs.Event{Name: "replay.progress", Dur: time.Since(start), Attrs: []obs.Attr{
+				obs.A("log", logName), obs.A("entries", n),
+			}})
+		}
 		return nil
 	})
-	s.statMu.Lock()
-	s.stats.RestartReplayTime += time.Since(start)
-	s.statMu.Unlock()
+	dur := time.Since(start)
+	s.recordStats(func(st *Stats) { st.RestartReplayTime += dur })
+	obs.Emit(s.tracer, obs.Event{Name: "restart.replay", Dur: dur, Err: err, Attrs: []obs.Attr{
+		obs.A("log", logName), obs.A("entries", res.Entries), obs.A("damaged", res.Damaged), obs.A("torn", res.Truncated),
+	}})
 	return res, err
 }
 
@@ -330,10 +430,31 @@ func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wa
 func (s *Store) View(fn func(root any) error) error {
 	s.lock.Shared()
 	defer s.lock.SharedUnlock()
-	s.statMu.Lock()
-	s.stats.Enquiries++
-	s.statMu.Unlock()
+	s.ctr.enquiries.Inc()
+	s.recordStats(func(st *Stats) { st.Enquiries++ })
 	return fn(s.root)
+}
+
+// recordUpdate folds one committed update's phase boundaries into the
+// sums, histograms and counters, and emits the update.commit event.
+func (s *Store) recordUpdate(t0, t1, t2, t3, t4 time.Time, seq uint64, payloadBytes int) {
+	verify, pickling, commit, apply := t1.Sub(t0), t2.Sub(t1), t3.Sub(t2), t4.Sub(t3)
+	s.hist.verify.ObserveDuration(verify)
+	s.hist.pickle.ObserveDuration(pickling)
+	s.hist.commit.ObserveDuration(commit)
+	s.hist.apply.ObserveDuration(apply)
+	s.ctr.updates.Inc()
+	s.recordStats(func(st *Stats) {
+		st.Updates++
+		st.VerifyTime += verify
+		st.PickleTime += pickling
+		st.CommitTime += commit
+		st.ApplyTime += apply
+		st.AppliedSeq = seq
+	})
+	obs.Emit(s.tracer, obs.Event{Name: "update.commit", Dur: t4.Sub(t0), Attrs: []obs.Attr{
+		obs.A("seq", seq), obs.A("bytes", payloadBytes), obs.A("commit", commit.Round(time.Microsecond)),
+	}})
 }
 
 // Apply runs one update through the paper's three-step protocol. On return
@@ -423,15 +544,7 @@ func (s *Store) Apply(u Update) error {
 		}
 	}
 
-	s.statMu.Lock()
-	s.stats.Updates++
-	s.stats.VerifyTime += t1.Sub(t0)
-	s.stats.PickleTime += t2.Sub(t1)
-	s.stats.CommitTime += t3.Sub(t2)
-	s.stats.ApplyTime += t4.Sub(t3)
-	s.stats.AppliedSeq = seq
-	s.statMu.Unlock()
-
+	s.recordUpdate(t0, t1, t2, t3, t4, seq, len(payload))
 	s.maybeAutoCheckpoint()
 	return nil
 }
@@ -483,15 +596,7 @@ func (s *Store) applyCoarse(u Update) error {
 	s.mu.Unlock()
 	t4 := time.Now()
 
-	s.statMu.Lock()
-	s.stats.Updates++
-	s.stats.VerifyTime += t1.Sub(t0)
-	s.stats.PickleTime += t2.Sub(t1)
-	s.stats.CommitTime += t3.Sub(t2)
-	s.stats.ApplyTime += t4.Sub(t3)
-	s.stats.AppliedSeq = seq
-	s.statMu.Unlock()
-
+	s.recordUpdate(t0, t1, t2, t3, t4, seq, len(payload))
 	s.maybeAutoCheckpoint()
 	return nil
 }
@@ -560,6 +665,11 @@ func (s *Store) Checkpoint() error {
 	nextSeq := s.applied + 1
 	s.mu.Unlock()
 
+	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.start", Attrs: []obs.Attr{
+		obs.A("version", cur.Version), obs.A("next_seq", nextSeq),
+	}})
+	cpStart := time.Now()
+
 	// Make sure every applied update's entry is durable in the old log
 	// before the new checkpoint supersedes it (group-commit entries may
 	// still be in flight). Close flushes.
@@ -579,6 +689,7 @@ func (s *Store) Checkpoint() error {
 		return werr
 	}, s.cpOpts())
 	if err != nil {
+		obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Err: err})
 		// The old version is still current; reopen its log for append.
 		reopened, rerr := wal.Open(s.cfg.FS, cur.LogName(), nextSeq, s.walOpts())
 		if rerr != nil {
@@ -603,11 +714,19 @@ func (s *Store) Checkpoint() error {
 	s.logEntries = 0
 	s.mu.Unlock()
 
-	s.statMu.Lock()
-	s.stats.Checkpoints++
-	s.stats.CheckpointPickleTime += pickleTime
-	s.stats.CheckpointIOTime += ioTime
-	s.statMu.Unlock()
+	s.hist.cpPickle.ObserveDuration(pickleTime)
+	s.hist.cpIO.ObserveDuration(ioTime)
+	s.ctr.checkpoints.Inc()
+	s.recordStats(func(st *Stats) {
+		st.Checkpoints++
+		st.CheckpointPickleTime += pickleTime
+		st.CheckpointIOTime += ioTime
+	})
+	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Attrs: []obs.Attr{
+		obs.A("version", newState.Version),
+		obs.A("pickle", pickleTime.Round(time.Microsecond)),
+		obs.A("io", ioTime.Round(time.Microsecond)),
+	}})
 	return nil
 }
 
@@ -656,7 +775,7 @@ func (s *Store) CheckpointEvery(interval time.Duration) {
 
 // cpOpts derives the checkpoint-protocol options from the config.
 func (s *Store) cpOpts() checkpoint.Options {
-	return checkpoint.Options{Retain: s.cfg.Retain, ArchiveLogs: s.cfg.ArchiveLogs}
+	return checkpoint.Options{Retain: s.cfg.Retain, ArchiveLogs: s.cfg.ArchiveLogs, Obs: s.cfg.Obs}
 }
 
 // History replays the database's audit trail — every archived log (with
@@ -724,11 +843,18 @@ func (s *Store) History(fn func(seq uint64, u Update) error) error {
 	return nil
 }
 
-// Stats returns a snapshot of the instrumentation counters.
+// Stats returns a snapshot of the instrumentation counters, including the
+// phase latency distributions.
 func (s *Store) Stats() Stats {
 	s.statMu.Lock()
 	st := s.stats
 	s.statMu.Unlock()
+	st.VerifyDist = s.hist.verify.Snapshot()
+	st.PickleDist = s.hist.pickle.Snapshot()
+	st.CommitDist = s.hist.commit.Snapshot()
+	st.ApplyDist = s.hist.apply.Snapshot()
+	st.CheckpointPickleDist = s.hist.cpPickle.Snapshot()
+	st.CheckpointIODist = s.hist.cpIO.Snapshot()
 	s.mu.Lock()
 	if s.log != nil {
 		st.LogBytes = s.log.Size()
@@ -776,5 +902,5 @@ func (s *Store) Close() error {
 
 // walOpts derives the log options from the config.
 func (s *Store) walOpts() wal.Options {
-	return wal.Options{NoSync: s.cfg.UnsafeNoSync}
+	return wal.Options{NoSync: s.cfg.UnsafeNoSync, Obs: s.cfg.Obs, Tracer: s.cfg.Tracer}
 }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"smalldb/internal/obs"
+	"smalldb/internal/vfs"
+)
+
+// TestStatsRace hammers Stats() while updates, enquiries and checkpoints
+// are in flight. Run with -race: every stats mutation must go through the
+// recordStats helper, and this test is what catches a stray direct write.
+func TestStatsRace(t *testing.T) {
+	fs := vfs.NewMem(1)
+	s := openKV(t, fs)
+	defer s.Close()
+
+	const writers, readers, perWorker = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				put(t, s, fmt.Sprintf("k%d-%d", w, i), "v")
+				if i%10 == 0 {
+					if err := s.View(func(any) error { return nil }); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker*4; i++ {
+				_ = s.Stats()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := s.Checkpoint(); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Updates != writers*perWorker {
+		t.Errorf("Updates = %d, want %d", st.Updates, writers*perWorker)
+	}
+	if st.Checkpoints != 5 {
+		t.Errorf("Checkpoints = %d, want 5", st.Checkpoints)
+	}
+}
+
+// TestStatsDistributions checks that the §5 phase histograms back the
+// Stats() snapshot: counts equal the op count and percentiles are sane.
+func TestStatsDistributions(t *testing.T) {
+	fs := vfs.NewMem(1)
+	s := openKV(t, fs)
+	defer s.Close()
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		put(t, s, fmt.Sprintf("k%d", i), "v")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	for _, ph := range []struct {
+		name string
+		d    obs.Snapshot
+	}{
+		{"verify", st.VerifyDist}, {"pickle", st.PickleDist},
+		{"commit", st.CommitDist}, {"apply", st.ApplyDist},
+	} {
+		if ph.d.Count != n {
+			t.Errorf("%s: count = %d, want %d", ph.name, ph.d.Count, n)
+		}
+		if ph.d.P99 < ph.d.P50 || ph.d.Max < ph.d.P99 {
+			t.Errorf("%s: percentiles out of order: p50=%d p99=%d max=%d",
+				ph.name, ph.d.P50, ph.d.P99, ph.d.Max)
+		}
+	}
+	// Commit includes a disk sync, so it must have measurable latency.
+	if st.CommitDist.P50 <= 0 {
+		t.Errorf("commit p50 = %d, want > 0", st.CommitDist.P50)
+	}
+	if st.CheckpointPickleDist.Count != 1 || st.CheckpointIODist.Count != 1 {
+		t.Errorf("checkpoint dists: pickle count=%d io count=%d, want 1/1",
+			st.CheckpointPickleDist.Count, st.CheckpointIODist.Count)
+	}
+	// The aggregate totals must agree with the histograms they mirror.
+	if st.Updates != n || st.VerifyTime <= 0 || st.CommitTime <= 0 {
+		t.Errorf("aggregates: updates=%d verify=%v commit=%v", st.Updates, st.VerifyTime, st.CommitTime)
+	}
+}
+
+// TestStoreWithRegistry exercises the registry-wired path: the store's
+// phase histograms and counters must surface under the core_* names.
+func TestStoreWithRegistry(t *testing.T) {
+	fs := vfs.NewMem(1)
+	reg := obs.NewRegistry()
+	var events int
+	tr := obs.FuncTracer(func(obs.Event) { events++ })
+	s := openKV(t, fs, func(c *Config) { c.Obs = reg; c.Tracer = tr })
+	put(t, s, "a", "1")
+	put(t, s, "b", "2")
+	if _, ok := get(t, s, "a"); !ok {
+		t.Fatal("lookup a failed")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap["core_updates"]; got != uint64(2) {
+		t.Errorf("core_updates = %v, want 2", got)
+	}
+	if got := snap["core_enquiries"]; got != uint64(1) {
+		t.Errorf("core_enquiries = %v, want 1", got)
+	}
+	if got := snap["core_checkpoints"]; got != uint64(1) {
+		t.Errorf("core_checkpoints = %v, want 1", got)
+	}
+	for _, name := range []string{
+		"core_update_verify_ns", "core_update_pickle_ns",
+		"core_update_commit_ns", "core_update_apply_ns",
+		"wal_appends", "wal_flush_ns", "checkpoint_switches",
+	} {
+		if _, ok := snap[name]; !ok {
+			t.Errorf("registry missing %s (have %v)", name, reg.Names())
+		}
+	}
+	if d, ok := snap["core_update_commit_ns"].(obs.Snapshot); !ok || d.Count != 2 {
+		t.Errorf("core_update_commit_ns = %v, want histogram with count 2", snap["core_update_commit_ns"])
+	}
+	if events == 0 {
+		t.Error("tracer saw no events")
+	}
+
+	// Reopening with the same registry must not panic or lose metrics
+	// (name collisions resolve to the existing objects).
+	s2 := openKV(t, fs, func(c *Config) { c.Obs = reg })
+	put(t, s2, "c", "3")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot()["core_updates"]; got != uint64(3) {
+		t.Errorf("core_updates after reopen = %v, want 3", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smalldb/internal/core"
+	"smalldb/internal/obs"
 	"smalldb/internal/vfs"
 )
 
@@ -24,6 +25,9 @@ type Config struct {
 	// SkipDamagedLogEntries passes through; name-server updates are
 	// independent enough for the paper's skip-the-damaged-entry story.
 	SkipDamagedLogEntries bool
+	// Obs and Tracer pass through to the store's instrumentation.
+	Obs    *obs.Registry
+	Tracer obs.Tracer
 }
 
 // Server is a name server: the paper's worked example, its whole database a
@@ -44,6 +48,8 @@ func Open(cfg Config) (*Server, error) {
 		MaxLogBytes:           cfg.MaxLogBytes,
 		MaxLogEntries:         cfg.MaxLogEntries,
 		SkipDamagedLogEntries: cfg.SkipDamagedLogEntries,
+		Obs:                   cfg.Obs,
+		Tracer:                cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

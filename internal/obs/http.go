@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Mux builds the admin HTTP mux for a registry:
+//
+//	/metrics       registry snapshot as JSON (counters, gauges, histogram
+//	               percentile summaries)
+//	/stats         the same, human-readable (durations and sizes formatted,
+//	               ASCII bucket bars with ?buckets=1)
+//	/debug/pprof/  the standard Go profiling endpoints
+//	/debug/vars    expvar (the registry is published there too)
+//
+// rec, if non-nil, is a Recorder whose recent events are appended to the
+// /stats page.
+func Mux(r *Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "goroutines=%d\n\n", runtime.NumGoroutine())
+		r.WriteText(w)
+		if req.URL.Query().Get("buckets") != "" {
+			fmt.Fprintf(w, "\nhistogram buckets:\n")
+			r.Each(func(name string, v any) {
+				h, ok := v.(*Histogram)
+				if !ok {
+					return
+				}
+				s := h.Snapshot()
+				if s.Count == 0 {
+					return
+				}
+				fmt.Fprintf(w, "\n%s:\n%s", name, s.Bar(40, bucketFormat(name)))
+			})
+		}
+		if rec != nil {
+			fmt.Fprintf(w, "\nrecent events:\n")
+			for _, e := range rec.Events() {
+				fmt.Fprintf(w, "  %s\n", e)
+			}
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", http.DefaultServeMux)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "smalldb debug endpoint\n\n/metrics\n/stats (?buckets=1 for distributions)\n/debug/pprof/\n/debug/vars\n")
+	})
+	return mux
+}
+
+func bucketFormat(name string) func(int64) string {
+	if hasSuffix(name, "_ns") {
+		return func(v int64) string { return time.Duration(v).String() }
+	}
+	if hasSuffix(name, "_bytes") {
+		return sizeStr
+	}
+	return nil
+}
+
+// An AdminServer is a running debug HTTP endpoint.
+type AdminServer struct {
+	// Addr is the address the server is actually listening on (useful
+	// when the requested address had port 0).
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeAdmin starts the admin endpoint on addr, publishing the registry to
+// expvar as a side effect. It returns once the listener is bound; serving
+// continues in a background goroutine until Close.
+func ServeAdmin(addr string, r *Registry, rec *Recorder) (*AdminServer, error) {
+	r.PublishExpvar("smalldb_")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Mux(r, rec), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &AdminServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
+}
+
+// Close stops the admin endpoint.
+func (a *AdminServer) Close() error {
+	if a == nil {
+		return nil
+	}
+	return a.srv.Close()
+}

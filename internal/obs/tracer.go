@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// An Event is one structured trace record: an update committed, a
+// checkpoint started or finished, replay progress, a log flush, a lock
+// wait, an RPC call, a replica push or anti-entropy round. Dur is zero for
+// instantaneous events; Err is nil for successful ones.
+type Event struct {
+	Name  string
+	Dur   time.Duration
+	Err   error
+	Attrs []Attr
+}
+
+// An Attr is one key/value annotation on an event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A formats an attribute.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// String renders the event on one line: name, duration, error, attributes.
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Name)
+	if e.Dur != 0 {
+		fmt.Fprintf(&b, " dur=%v", e.Dur.Round(time.Microsecond))
+	}
+	for _, a := range e.Attrs {
+		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
+	}
+	if e.Err != nil {
+		fmt.Fprintf(&b, " err=%q", e.Err.Error())
+	}
+	return b.String()
+}
+
+// A Tracer receives structured events. Implementations must be safe for
+// concurrent use; Emit is called on hot paths and should be cheap.
+type Tracer interface {
+	Emit(e Event)
+}
+
+// Nop is the default tracer; it discards every event.
+var Nop Tracer = nopTracer{}
+
+type nopTracer struct{}
+
+func (nopTracer) Emit(Event) {}
+
+// Emit sends e to t if t is non-nil — the helper subsystems use so an
+// unconfigured tracer costs one nil check.
+func Emit(t Tracer, e Event) {
+	if t != nil {
+		t.Emit(e)
+	}
+}
+
+// FuncTracer adapts a function to the Tracer interface.
+type FuncTracer func(Event)
+
+// Emit implements Tracer.
+func (f FuncTracer) Emit(e Event) { f(e) }
+
+// Multi fans every event out to each tracer in order; nil entries are
+// skipped, and an empty set behaves as Nop.
+func Multi(ts ...Tracer) Tracer {
+	var live []Tracer
+	for _, t := range ts {
+		if t != nil && t != Nop {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return multiTracer(live)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// SlowOps returns a tracer that forwards to logf only the events whose
+// duration meets threshold or that carry an error — the "why was that
+// update slow" tracer a production daemon runs by default.
+func SlowOps(threshold time.Duration, logf func(format string, args ...any)) Tracer {
+	return FuncTracer(func(e Event) {
+		if e.Err != nil || (e.Dur >= threshold && e.Dur > 0) {
+			logf("obs: slow op: %s", e)
+		}
+	})
+}
+
+// A Recorder is a tracer that keeps the last N events in a ring, for tests
+// and for the /stats page's recent-events section.
+type Recorder struct {
+	mu     sync.Mutex
+	ring   []Event
+	next   int
+	filled bool
+}
+
+// NewRecorder returns a Recorder holding up to n events.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 64
+	}
+	return &Recorder{ring: make([]Event, n)}
+}
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	r.mu.Lock()
+	r.ring[r.next] = e
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		return append([]Event(nil), r.ring[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}

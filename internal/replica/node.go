@@ -8,6 +8,7 @@ import (
 
 	"smalldb/internal/core"
 	"smalldb/internal/nameserver"
+	"smalldb/internal/obs"
 	"smalldb/internal/pickle"
 	"smalldb/internal/rpc"
 	"smalldb/internal/vfs"
@@ -26,6 +27,11 @@ type Config struct {
 	Retain        int
 	MaxLogBytes   int64
 	MaxLogEntries int64
+	// Obs and Tracer pass through to the store and additionally receive
+	// the replication metrics (replica_*) and the replica.push /
+	// replica.antientropy events.
+	Obs    *obs.Registry
+	Tracer obs.Tracer
 }
 
 // Node is one replica: a full store plus the propagation machinery.
@@ -33,11 +39,38 @@ type Node struct {
 	name  string
 	store *core.Store
 
+	m      nodeMetrics
+	tracer obs.Tracer
+
 	mu    sync.Mutex // serializes local sequence assignment
 	peers map[string]*rpc.Client
 
 	stopAE chan struct{}
 	aeWG   sync.WaitGroup
+}
+
+// nodeMetrics is the replication-layer instrumentation; all fields are
+// nil-safe.
+type nodeMetrics struct {
+	pushes       *obs.Counter   // propagation attempts (one per peer per local update)
+	pushErrors   *obs.Counter   // failed pushes (the peer catches up by anti-entropy)
+	pushLag      *obs.Histogram // local commit → peer ack, ns
+	aeRounds     *obs.Counter   // anti-entropy pulls completed
+	aeErrors     *obs.Counter   // anti-entropy pulls failed
+	aeApplied    *obs.Counter   // divergence repairs: entries applied by anti-entropy
+	fullRestores *obs.Counter   // snapshot installs (history trimmed or hard error)
+}
+
+func newNodeMetrics(reg *obs.Registry) nodeMetrics {
+	return nodeMetrics{
+		pushes:       reg.Counter("replica_pushes"),
+		pushErrors:   reg.Counter("replica_push_errors"),
+		pushLag:      reg.Histogram("replica_push_lag_ns"),
+		aeRounds:     reg.Counter("replica_ae_rounds"),
+		aeErrors:     reg.Counter("replica_ae_errors"),
+		aeApplied:    reg.Counter("replica_ae_applied"),
+		fullRestores: reg.Counter("replica_full_restores"),
+	}
 }
 
 // Open recovers (or initializes) a replica node.
@@ -51,11 +84,19 @@ func Open(cfg Config) (*Node, error) {
 		Retain:        cfg.Retain,
 		MaxLogBytes:   cfg.MaxLogBytes,
 		MaxLogEntries: cfg.MaxLogEntries,
+		Obs:           cfg.Obs,
+		Tracer:        cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Node{name: cfg.Name, store: st, peers: make(map[string]*rpc.Client)}, nil
+	return &Node{
+		name:   cfg.Name,
+		store:  st,
+		m:      newNodeMetrics(cfg.Obs),
+		tracer: cfg.Tracer,
+		peers:  make(map[string]*rpc.Client),
+	}, nil
 }
 
 // Name reports the node's name.
@@ -102,10 +143,22 @@ func (n *Node) Apply(inner core.Update) error {
 	if err != nil {
 		return err
 	}
+	committed := time.Now()
 	entry := Entry{Origin: n.name, Seq: seq, Stamp: stamp, Inner: inner}
 	for _, p := range peers {
 		var reply PushReply
-		_ = p.Call("Replica.Push", &PushArgs{Entries: []Entry{entry}}, &reply)
+		perr := p.Call("Replica.Push", &PushArgs{Entries: []Entry{entry}}, &reply)
+		n.m.pushes.Inc()
+		if perr != nil {
+			n.m.pushErrors.Inc()
+		} else {
+			// Push lag: how far behind a peer runs between our commit
+			// point and its acknowledgement of the propagated update.
+			n.m.pushLag.ObserveSince(committed)
+		}
+		obs.Emit(n.tracer, obs.Event{Name: "replica.push", Dur: time.Since(committed), Err: perr, Attrs: []obs.Attr{
+			obs.A("origin", n.name), obs.A("seq", seq),
+		}})
 	}
 	return nil
 }
@@ -214,23 +267,38 @@ func (n *Node) applyEntries(entries []Entry) (applied int, err error) {
 // peer's history has been trimmed past what we need, it falls back to a
 // full snapshot transfer.
 func (n *Node) SyncWith(client *rpc.Client) error {
+	start := time.Now()
+	applied, full, err := n.syncWith(client)
+	if err != nil {
+		n.m.aeErrors.Inc()
+	} else {
+		n.m.aeRounds.Inc()
+		n.m.aeApplied.Add(uint64(applied))
+	}
+	obs.Emit(n.tracer, obs.Event{Name: "replica.antientropy", Dur: time.Since(start), Err: err, Attrs: []obs.Attr{
+		obs.A("applied", applied), obs.A("full_snapshot", full),
+	}})
+	return err
+}
+
+func (n *Node) syncWith(client *rpc.Client) (applied int, full bool, err error) {
 	vec, err := n.Vector()
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	var reply PullReply
 	if err := client.Call("Replica.Pull", &PullArgs{Vector: vec}, &reply); err != nil {
-		return err
+		return 0, false, err
 	}
 	if reply.NeedFull {
 		var snap SnapshotReply
 		if err := client.Call("Replica.Snapshot", &SnapshotArgs{}, &snap); err != nil {
-			return err
+			return 0, true, err
 		}
-		return n.installSnapshot(snap.Root)
+		return 0, true, n.installSnapshot(snap.Root)
 	}
-	_, err = n.applyEntries(reply.Entries)
-	return err
+	applied, err = n.applyEntries(reply.Entries)
+	return applied, false, err
 }
 
 // AntiEntropyEvery starts a background loop syncing with every peer at the
@@ -274,7 +342,11 @@ func (n *Node) installSnapshot(snap *Root) error {
 	if snap == nil {
 		return fmt.Errorf("replica: nil snapshot")
 	}
-	return n.store.Apply(&installSnapshot{Snap: snap})
+	err := n.store.Apply(&installSnapshot{Snap: snap})
+	if err == nil {
+		n.m.fullRestores.Inc()
+	}
+	return err
 }
 
 // installSnapshot is an update that replaces the whole root in place; it is

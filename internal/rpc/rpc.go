@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"smalldb/internal/obs"
 	"smalldb/internal/pickle"
 )
 
@@ -104,10 +105,31 @@ type Server struct {
 	mu       sync.RWMutex
 	services map[string]*service
 
+	// obs and tracer are set by Instrument before serving; nil means
+	// uninstrumented (every metric method tolerates nil).
+	obs       *obs.Registry
+	tracer    obs.Tracer
+	openConns *obs.Gauge
+	requests  *obs.Counter
+	errors    *obs.Counter
+
 	lmu       sync.Mutex
 	listeners []net.Listener
 	conns     map[io.Closer]bool
 	closed    bool
+}
+
+// Instrument wires the server's metrics into reg — rpc_requests,
+// rpc_errors, rpc_open_conns, and per-method rpc_calls_<Service.Method> /
+// rpc_errors_<Service.Method> counters with rpc_latency_ns_<Service.Method>
+// histograms — and emits an "rpc.call" event per dispatch to tr. Call
+// before Serve.
+func (s *Server) Instrument(reg *obs.Registry, tr obs.Tracer) {
+	s.obs = reg
+	s.tracer = tr
+	s.openConns = reg.Gauge("rpc_open_conns")
+	s.requests = reg.Counter("rpc_requests")
+	s.errors = reg.Counter("rpc_errors")
 }
 
 type service struct {
@@ -193,7 +215,9 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	}
 	s.conns[conn] = true
 	s.lmu.Unlock()
+	s.openConns.Inc()
 	defer func() {
+		s.openConns.Dec()
 		s.lmu.Lock()
 		delete(s.conns, conn)
 		s.lmu.Unlock()
@@ -222,6 +246,37 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 // deliver a response after recovering.
 func (s *Server) dispatch(req *request) (resp *response) {
 	resp = &response{ID: req.ID}
+	if s.obs != nil || s.tracer != nil {
+		s.requests.Inc()
+		// Per-method metrics use only names that resolve to a
+		// registered method, so a client sending garbage cannot grow
+		// the registry without bound.
+		label := "unknown"
+		if svcName, mName, ok := splitMethod(req.Method); ok {
+			s.mu.RLock()
+			if svc := s.services[svcName]; svc != nil {
+				if _, known := svc.methods[mName]; known {
+					label = req.Method
+				}
+			}
+			s.mu.RUnlock()
+		}
+		s.obs.Counter("rpc_calls_" + label).Inc()
+		start := time.Now()
+		defer func() {
+			dur := time.Since(start)
+			s.obs.Histogram("rpc_latency_ns_" + label).ObserveDuration(dur)
+			var err error
+			if resp.Err != "" {
+				err = ServerError(resp.Err)
+				s.errors.Inc()
+				s.obs.Counter("rpc_errors_" + label).Inc()
+			}
+			obs.Emit(s.tracer, obs.Event{Name: "rpc.call", Dur: dur, Err: err, Attrs: []obs.Attr{
+				obs.A("method", req.Method),
+			}})
+		}()
+	}
 	svcName, mName, ok := splitMethod(req.Method)
 	if !ok {
 		resp.Err = fmt.Sprintf("rpc: malformed method %q", req.Method)

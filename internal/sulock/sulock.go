@@ -23,7 +23,12 @@
 // in-memory mutation, so the enquiry delay is bounded and tiny.
 package sulock
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"smalldb/internal/obs"
+)
 
 // Lock is a shared/update/exclusive lock. The zero value is ready to use.
 type Lock struct {
@@ -34,6 +39,43 @@ type Lock struct {
 	updater   bool // the (single) holder of update or exclusive
 	exclusive bool // updater has upgraded
 	upgrading bool // updater is waiting for readers to drain
+
+	ins *instrumentation // nil when uninstrumented
+}
+
+// instrumentation holds the optional contention metrics. The uncontended
+// fast path pays only a nil check; wait time is measured only when a
+// request actually blocks.
+type instrumentation struct {
+	sharedWait, updateWait, upgradeWait           *obs.Histogram
+	sharedContended, updateContended, upContended *obs.Counter
+	tracer                                        obs.Tracer
+}
+
+// Instrument wires the lock's contention metrics into reg under
+// prefix+"_lock_*" names (wait-time histograms and contended-acquisition
+// counters) and, if tr is non-nil, emits a "lock.wait" event for every
+// acquisition that had to block. Call before the lock is in use.
+func (l *Lock) Instrument(reg *obs.Registry, prefix string, tr obs.Tracer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ins = &instrumentation{
+		sharedWait:      reg.Histogram(prefix + "_lock_shared_wait_ns"),
+		updateWait:      reg.Histogram(prefix + "_lock_update_wait_ns"),
+		upgradeWait:     reg.Histogram(prefix + "_lock_upgrade_wait_ns"),
+		sharedContended: reg.Counter(prefix + "_lock_shared_contended"),
+		updateContended: reg.Counter(prefix + "_lock_update_contended"),
+		upContended:     reg.Counter(prefix + "_lock_upgrade_contended"),
+		tracer:          tr,
+	}
+}
+
+// record notes one contended acquisition of dur in mode. Called without
+// l.mu held.
+func (ins *instrumentation) record(mode string, h *obs.Histogram, c *obs.Counter, dur time.Duration) {
+	c.Inc()
+	h.ObserveDuration(dur)
+	obs.Emit(ins.tracer, obs.Event{Name: "lock.wait", Dur: dur, Attrs: []obs.Attr{obs.A("mode", mode)}})
 }
 
 func (l *Lock) init() {
@@ -47,8 +89,18 @@ func (l *Lock) init() {
 func (l *Lock) Shared() {
 	l.mu.Lock()
 	l.init()
-	for l.exclusive || l.upgrading {
-		l.cond.Wait()
+	if l.exclusive || l.upgrading {
+		ins := l.ins
+		start := time.Now()
+		for l.exclusive || l.upgrading {
+			l.cond.Wait()
+		}
+		if ins != nil {
+			l.readers++
+			l.mu.Unlock()
+			ins.record("shared", ins.sharedWait, ins.sharedContended, time.Since(start))
+			return
+		}
 	}
 	l.readers++
 	l.mu.Unlock()
@@ -74,8 +126,18 @@ func (l *Lock) SharedUnlock() {
 func (l *Lock) Update() {
 	l.mu.Lock()
 	l.init()
-	for l.updater {
-		l.cond.Wait()
+	if l.updater {
+		ins := l.ins
+		start := time.Now()
+		for l.updater {
+			l.cond.Wait()
+		}
+		if ins != nil {
+			l.updater = true
+			l.mu.Unlock()
+			ins.record("update", ins.updateWait, ins.updateContended, time.Since(start))
+			return
+		}
 	}
 	l.updater = true
 	l.mu.Unlock()
@@ -107,8 +169,19 @@ func (l *Lock) Upgrade() {
 		panic("sulock: Upgrade without Update")
 	}
 	l.upgrading = true
-	for l.readers > 0 {
-		l.cond.Wait()
+	if l.readers > 0 {
+		ins := l.ins
+		start := time.Now()
+		for l.readers > 0 {
+			l.cond.Wait()
+		}
+		if ins != nil {
+			l.upgrading = false
+			l.exclusive = true
+			l.mu.Unlock()
+			ins.record("upgrade", ins.upgradeWait, ins.upContended, time.Since(start))
+			return
+		}
 	}
 	l.upgrading = false
 	l.exclusive = true

@@ -32,7 +32,9 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"time"
 
+	"smalldb/internal/obs"
 	"smalldb/internal/vfs"
 )
 
@@ -47,6 +49,34 @@ type Options struct {
 	// system without a commit point; the reliability experiments show
 	// what it costs.
 	NoSync bool
+	// Obs, when non-nil, receives the log's metrics: wal_appends,
+	// wal_append_bytes, wal_flushes, wal_flush_ns, wal_flush_bytes and
+	// wal_group_entries.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives a "log.flush" event per disk write.
+	Tracer obs.Tracer
+}
+
+// metrics holds the log's instrumentation; every field tolerates nil, so
+// an unwired log pays only nil checks.
+type metrics struct {
+	appends      *obs.Counter   // entries enqueued
+	appendBytes  *obs.Counter   // framed bytes enqueued
+	flushes      *obs.Counter   // disk writes (write+sync pairs)
+	flushNS      *obs.Histogram // latency of one write+sync
+	flushBytes   *obs.Histogram // bytes per disk write
+	groupEntries *obs.Histogram // entries sharing one disk write
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		appends:      reg.Counter("wal_appends"),
+		appendBytes:  reg.Counter("wal_append_bytes"),
+		flushes:      reg.Counter("wal_flushes"),
+		flushNS:      reg.Histogram("wal_flush_ns"),
+		flushBytes:   reg.Histogram("wal_flush_bytes"),
+		groupEntries: reg.Histogram("wal_group_entries"),
+	}
 }
 
 // Log is an open redo log positioned for appending.
@@ -54,18 +84,20 @@ type Log struct {
 	fs   vfs.FS
 	name string
 	opts Options
+	m    metrics
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	f         vfs.File
-	nextSeq   uint64
-	size      int64
-	pending   []byte // frames appended but not yet written+synced (group commit)
-	pendingHi uint64 // highest seq in pending
-	committed uint64 // highest seq known durable
-	syncing   bool
-	err       error // sticky: a failed log write poisons the log
-	closed    bool
+	mu           sync.Mutex
+	cond         *sync.Cond
+	f            vfs.File
+	nextSeq      uint64
+	size         int64
+	pending      []byte // frames appended but not yet written+synced (group commit)
+	pendingCount int    // entries in pending
+	pendingHi    uint64 // highest seq in pending
+	committed    uint64 // highest seq known durable
+	syncing      bool
+	err          error // sticky: a failed log write poisons the log
+	closed       bool
 }
 
 // Create creates (or truncates) the named log file and returns an empty Log
@@ -83,7 +115,7 @@ func Create(fs vfs.FS, name string, firstSeq uint64, opts Options) (*Log, error)
 		f.Close()
 		return nil, err
 	}
-	l := &Log{fs: fs, name: name, opts: opts, f: f, nextSeq: firstSeq}
+	l := &Log{fs: fs, name: name, opts: opts, m: newMetrics(opts.Obs), f: f, nextSeq: firstSeq}
 	l.cond = sync.NewCond(&l.mu)
 	l.committed = firstSeq - 1
 	return l, nil
@@ -104,7 +136,7 @@ func Open(fs vfs.FS, name string, nextSeq uint64, opts Options) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
-	l := &Log{fs: fs, name: name, opts: opts, f: f, nextSeq: nextSeq, size: size}
+	l := &Log{fs: fs, name: name, opts: opts, m: newMetrics(opts.Obs), f: f, nextSeq: nextSeq, size: size}
 	l.cond = sync.NewCond(&l.mu)
 	l.committed = nextSeq - 1
 	return l, nil
@@ -165,8 +197,11 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error) {
 	l.nextSeq++
 	fr := frame(seq, payload)
 	l.pending = append(l.pending, fr...)
+	l.pendingCount++
 	l.pendingHi = seq
 	l.size += int64(len(fr))
+	l.m.appends.Inc()
+	l.m.appendBytes.Add(uint64(len(fr)))
 	return seq, func() error { return l.waitDurable(seq) }
 }
 
@@ -210,15 +245,32 @@ func (l *Log) waitDurable(seq uint64) error {
 func (l *Log) flushLocked() error {
 	buf := l.pending
 	hi := l.pendingHi
+	entries := l.pendingCount
 	l.pending = nil
+	l.pendingCount = 0
 	if len(buf) == 0 {
 		return nil
 	}
 	l.mu.Unlock()
+	start := time.Now()
 	_, werr := l.f.Write(buf)
 	var serr error
 	if werr == nil && !l.opts.NoSync {
 		serr = l.f.Sync()
+	}
+	dur := time.Since(start)
+	l.m.flushes.Inc()
+	l.m.flushNS.ObserveDuration(dur)
+	l.m.flushBytes.Observe(int64(len(buf)))
+	l.m.groupEntries.Observe(int64(entries))
+	if l.opts.Tracer != nil {
+		ferr := werr
+		if ferr == nil {
+			ferr = serr
+		}
+		l.opts.Tracer.Emit(obs.Event{Name: "log.flush", Dur: dur, Err: ferr, Attrs: []obs.Attr{
+			obs.A("bytes", len(buf)), obs.A("entries", entries), obs.A("hi_seq", hi),
+		}})
 	}
 	l.mu.Lock()
 	// Wake every waiter regardless of outcome: they either see their
@@ -299,6 +351,9 @@ type ReplayOptions struct {
 	// Repair truncates the log file in place after a torn tail entry is
 	// detected, so a subsequent Open appends from the last good entry.
 	Repair bool
+	// Obs, when non-nil, receives the wal_torn_tails and
+	// wal_damaged_entries recovery counters.
+	Obs *obs.Registry
 }
 
 // ReplayResult describes what recovery found.
@@ -383,6 +438,12 @@ func Replay(fs vfs.FS, name string, firstSeq uint64, opts ReplayOptions, fn func
 	}
 	f.Close()
 
+	if res.Damaged > 0 {
+		opts.Obs.Counter("wal_damaged_entries").Add(uint64(res.Damaged))
+	}
+	if res.Truncated {
+		opts.Obs.Counter("wal_torn_tails").Inc()
+	}
 	if res.Truncated && opts.Repair {
 		rw, err := fs.OpenRW(name)
 		if err != nil {
