@@ -360,3 +360,29 @@ func TestDebugEndpoint(t *testing.T) {
 		t.Errorf("logdump -stats output:\n%s", text)
 	}
 }
+
+// TestCrashTortureBounded runs the crashtest CLI with a small op budget:
+// every crash point of a 10-update workload, in both store and replica
+// modes, must recover with zero invariant violations. A full-size sweep
+// lives behind `go run ./cmd/crashtest`; this slice keeps the suite fast.
+func TestCrashTortureBounded(t *testing.T) {
+	dir := t.TempDir()
+	build := exec.Command("go", "build", "-o", dir, "./cmd/crashtest")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(filepath.Join(dir, "crashtest"), "-seed", "1", "-ops", "10").CombinedOutput()
+	if err != nil {
+		t.Fatalf("crashtest found violations: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "mode=store") || !strings.Contains(text, "mode=replica") {
+		t.Errorf("crashtest output missing a mode:\n%s", text)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if !strings.Contains(line, "violations=0") {
+			t.Errorf("unexpected crashtest line: %s", line)
+		}
+	}
+}

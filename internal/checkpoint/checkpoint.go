@@ -23,6 +23,7 @@
 package checkpoint
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -137,7 +138,14 @@ func writeCheckpointFile(fs vfs.FS, name string, write func(w io.Writer) error) 
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
+	// The pickler streams many small writes; buffer them so a checkpoint
+	// costs a few large file writes rather than one syscall per field.
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := write(bw); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: writing %s: %w", name, err)
+	}
+	if err := bw.Flush(); err != nil {
 		f.Close()
 		return fmt.Errorf("checkpoint: writing %s: %w", name, err)
 	}

@@ -26,6 +26,7 @@
 package core
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -382,7 +383,8 @@ func (s *Store) readCheckpoint(name string) (*header, time.Duration, error) {
 	}
 	defer f.Close()
 	var hdr header
-	if err := pickle.Read(f, &hdr); err != nil {
+	// The decoder issues many small reads; buffer them.
+	if err := pickle.Read(bufio.NewReaderSize(f, 1<<16), &hdr); err != nil {
 		return nil, 0, fmt.Errorf("core: reading checkpoint %s: %w", name, err)
 	}
 	if hdr.Root == nil || hdr.NextSeq == 0 {

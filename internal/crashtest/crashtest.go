@@ -1,0 +1,458 @@
+package crashtest
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"smalldb/internal/nameserver"
+	"smalldb/internal/replica"
+	"smalldb/internal/rpc"
+	"smalldb/internal/vfs"
+	"smalldb/internal/vfs/faultfs"
+)
+
+// Modes of the torture run.
+const (
+	// ModeStore tortures a bare name-server store: recovery must surface
+	// exactly the acknowledged prefix, and replaying the remaining updates
+	// must reach the full-workload oracle.
+	ModeStore = "store"
+	// ModeReplica tortures one node of a two-node replica pair: after the
+	// crashed node recovers, anti-entropy with its peer must restore every
+	// update the pair acknowledged, then the workload finishes on the
+	// recovered node and both replicas must converge on the full oracle.
+	ModeReplica = "replica"
+)
+
+// Config configures one torture run.
+type Config struct {
+	// Seed fixes the workload; (Seed, crash point) replays any failure.
+	Seed int64
+	// Ops is the number of updates in the workload (default 50).
+	Ops int
+	// CheckpointEvery checkpoints after every k-th update, so the crash
+	// points sweep through the checkpoint-switch windows. 0 picks
+	// Ops/4+1 (several switches per run); negative disables checkpoints.
+	CheckpointEvery int
+	// Mode is ModeStore or ModeReplica (default ModeStore).
+	Mode string
+	// From and To bound the crash points to replay, inclusive; To <= 0
+	// means "through the last operation". The full sweep is [0, N] where
+	// N is the workload's total op count: point n crashes just before
+	// the n-th operation, point N is the crash-free run.
+	From, To int64
+	// Stride replays every Stride-th point in [From, To] (default 1).
+	Stride int64
+	// Shards is the number of crash points replayed concurrently
+	// (default GOMAXPROCS). Points are independent, so sharding does not
+	// affect the result.
+	Shards int
+	// UnsafeNoSync runs the workload without log syncs. In ModeStore
+	// this is a self-test: the harness must report lost acknowledged
+	// updates. In ModeReplica it exercises the paper's §4 story — the
+	// node forfeits local durability and recovery restores the lost
+	// updates from the peer; no violation is expected.
+	UnsafeNoSync bool
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Violation is one broken durability invariant, replayable from
+// (Seed, Point) with the same Config.
+type Violation struct {
+	Seed  int64
+	Mode  string
+	Point int64
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("seed=%d mode=%s crash-point=%d: %s", v.Seed, v.Mode, v.Point, v.Msg)
+}
+
+// Result summarizes a torture run.
+type Result struct {
+	Mode       string
+	Seed       int64
+	Ops        int
+	TotalFSOps int64 // N: mutating fs ops in the crash-free workload
+	Points     int   // crash points replayed
+	Violations []Violation
+}
+
+type runner struct {
+	cfg     Config
+	cpEvery int
+	plan    *plan
+	rec     *recorder
+}
+
+// Run executes the torture: a reference run to count operations and record
+// acknowledgement windows, then one full workload replay per crash point.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 50
+	}
+	if cfg.Mode == "" {
+		cfg.Mode = ModeStore
+	}
+	if cfg.Mode != ModeStore && cfg.Mode != ModeReplica {
+		return nil, fmt.Errorf("crashtest: unknown mode %q", cfg.Mode)
+	}
+	if cfg.Stride <= 0 {
+		cfg.Stride = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	cpEvery := cfg.CheckpointEvery
+	if cpEvery == 0 {
+		cpEvery = cfg.Ops/4 + 1
+	}
+	r := &runner{cfg: cfg, cpEvery: cpEvery, plan: makePlan(cfg.Seed, cfg.Ops)}
+
+	n, err := r.reference()
+	if err != nil {
+		return nil, fmt.Errorf("crashtest: reference run failed: %w", err)
+	}
+
+	from := cfg.From
+	if from < 0 {
+		from = 0
+	}
+	to := cfg.To
+	if to <= 0 || to > n {
+		to = n
+	}
+	var points []int64
+	for p := from; p <= to; p += cfg.Stride {
+		points = append(points, p)
+	}
+	r.logf("crashtest: mode=%s seed=%d ops=%d fs-ops=%d points=%d shards=%d",
+		cfg.Mode, cfg.Seed, cfg.Ops, n, len(points), cfg.Shards)
+
+	res := &Result{Mode: cfg.Mode, Seed: cfg.Seed, Ops: cfg.Ops, TotalFSOps: n, Points: len(points)}
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next atomic.Int64
+		done atomic.Int64
+	)
+	next.Store(-1)
+	for w := 0; w < cfg.Shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i >= int64(len(points)) {
+					return
+				}
+				vs := r.point(points[i])
+				if len(vs) > 0 {
+					mu.Lock()
+					res.Violations = append(res.Violations, vs...)
+					mu.Unlock()
+				}
+				if d := done.Add(1); d%64 == 0 {
+					r.logf("crashtest: %d/%d points done", d, len(points))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(res.Violations, func(i, j int) bool { return res.Violations[i].Point < res.Violations[j].Point })
+	return res, nil
+}
+
+func (r *runner) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// point replays one crash point, converting a harness panic into a
+// violation rather than killing the whole sweep.
+func (r *runner) point(n int64) (vs []Violation) {
+	defer func() {
+		if p := recover(); p != nil {
+			vs = append(vs, r.violation(n, "harness panic: %v", p))
+		}
+	}()
+	if r.cfg.Mode == ModeReplica {
+		return r.replicaPoint(n)
+	}
+	return r.storePoint(n)
+}
+
+func (r *runner) violation(n int64, format string, args ...any) Violation {
+	return Violation{Seed: r.cfg.Seed, Mode: r.cfg.Mode, Point: n, Msg: fmt.Sprintf(format, args...)}
+}
+
+// reference runs the workload crash-free on an instrumented fs, recording
+// each update's op-index window and the total op count N.
+func (r *runner) reference() (int64, error) {
+	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: faultfs.Never})
+	rec := &recorder{}
+	var err error
+	if r.cfg.Mode == ModeReplica {
+		peer, shutdown, perr := r.newPeer()
+		if perr != nil {
+			return 0, perr
+		}
+		err = r.runReplicaWorkload(ffs, peer, rec, ffs.OpCount)
+		shutdown()
+	} else {
+		err = r.runStoreWorkload(ffs, rec, ffs.OpCount)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(rec.ackOp) != len(r.plan.updates) {
+		return 0, fmt.Errorf("reference run acked %d of %d updates", len(rec.ackOp), len(r.plan.updates))
+	}
+	r.rec = rec
+	return ffs.OpCount(), nil
+}
+
+// --- store mode ---
+
+// runStoreWorkload replays the plan against one store on fs, interleaving
+// checkpoints, stopping at the first error (the crash, in a torture
+// replay).
+func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64) error {
+	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync})
+	if err != nil {
+		return err
+	}
+	st := srv.Store()
+	for k, u := range r.plan.updates {
+		if rec != nil {
+			rec.start(opCount())
+		}
+		if err := st.Apply(u); err != nil {
+			srv.Close()
+			return err
+		}
+		if rec != nil {
+			rec.ack(opCount())
+		}
+		if r.cpEvery > 0 && (k+1)%r.cpEvery == 0 {
+			if err := srv.Checkpoint(); err != nil {
+				srv.Close()
+				return err
+			}
+		}
+	}
+	return srv.Close()
+}
+
+// storePoint crashes the workload before op n, recovers from the frozen
+// durable image through the normal restart path, and checks the
+// invariants.
+func (r *runner) storePoint(n int64) []Violation {
+	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
+	_ = r.runStoreWorkload(ffs, nil, ffs.OpCount) // error is the crash itself
+
+	srv, err := nameserver.Open(nameserver.Config{FS: ffs.Snapshot()})
+	if err != nil {
+		return []Violation{r.violation(n, "recovery failed: %v", err)}
+	}
+	defer srv.Close()
+
+	recovered := int(srv.Store().AppliedSeq())
+	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
+	var out []Violation
+	// The lower bound holds unconditionally in store mode: with
+	// UnsafeNoSync it is exactly the violation the self-test expects the
+	// harness to catch.
+	if recovered < acked {
+		out = append(out, r.violation(n, "durability: recovered %d updates but %d were acknowledged", recovered, acked))
+	}
+	if recovered > attempted {
+		out = append(out, r.violation(n, "phantom: recovered %d updates but only %d were attempted", recovered, attempted))
+		return out
+	}
+	got, err := storeFingerprint(srv)
+	if err != nil {
+		return append(out, r.violation(n, "reading recovered state: %v", err))
+	}
+	if got != r.plan.fp[recovered] {
+		return append(out, r.violation(n, "atomicity: recovered state diverges from the oracle prefix of %d updates", recovered))
+	}
+	// Catch-up: the recovered state must accept the rest of the workload
+	// and land exactly on the full oracle.
+	for k := recovered; k < len(r.plan.updates); k++ {
+		if err := srv.Store().Apply(r.plan.updates[k]); err != nil {
+			return append(out, r.violation(n, "catch-up: update %d rejected after recovery: %v", k, err))
+		}
+	}
+	if got, err := storeFingerprint(srv); err != nil || got != r.plan.fp[len(r.plan.updates)] {
+		out = append(out, r.violation(n, "catch-up: state after finishing the workload diverges from the full oracle (%v)", err))
+	}
+	return out
+}
+
+func storeFingerprint(srv *nameserver.Server) (uint64, error) {
+	var fp uint64
+	err := srv.Store().View(func(root any) error {
+		t, ok := root.(*nameserver.Tree)
+		if !ok {
+			return fmt.Errorf("root is %T, not *nameserver.Tree", root)
+		}
+		fp = fingerprintTree(t)
+		return nil
+	})
+	return fp, err
+}
+
+// --- replica mode ---
+
+// peer is the crash-free replica "b": every update node "a" acknowledges
+// has been pushed here, so after a crash it holds exactly the acknowledged
+// prefix.
+type peer struct {
+	node *replica.Node
+	srv  *rpc.Server
+}
+
+func (r *runner) newPeer() (*peer, func(), error) {
+	node, err := replica.Open(replica.Config{Name: "b", FS: vfs.NewMem(r.cfg.Seed + 1)})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := rpc.NewServer()
+	if err := srv.Register("Replica", replica.NewService(node)); err != nil {
+		node.Close()
+		return nil, nil, err
+	}
+	p := &peer{node: node, srv: srv}
+	shutdown := func() {
+		p.node.Close()
+		p.srv.Close()
+	}
+	return p, shutdown, nil
+}
+
+// dial opens a fresh in-memory connection to the peer.
+func (p *peer) dial() *rpc.Client {
+	cc, sc := net.Pipe()
+	go p.srv.ServeConn(sc)
+	return rpc.NewClient(cc)
+}
+
+// runReplicaWorkload replays the plan through node "a" on fs, pushing each
+// committed update to the peer, checkpointing on the same schedule as
+// store mode.
+func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount func() int64) error {
+	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync})
+	if err != nil {
+		return err
+	}
+	node.AddPeer("b", p.dial())
+	for k, u := range r.plan.updates {
+		if rec != nil {
+			rec.start(opCount())
+		}
+		if err := node.Apply(u); err != nil {
+			node.Close()
+			return err
+		}
+		if rec != nil {
+			rec.ack(opCount())
+		}
+		if r.cpEvery > 0 && (k+1)%r.cpEvery == 0 {
+			if err := node.Checkpoint(); err != nil {
+				node.Close()
+				return err
+			}
+		}
+	}
+	return node.Close()
+}
+
+// replicaPoint crashes node "a" before op n, recovers it, pulls the missing
+// suffix from the peer (anti-entropy catch-up), finishes the workload on
+// the recovered node, and requires both replicas to converge on the full
+// oracle.
+func (r *runner) replicaPoint(n int64) []Violation {
+	p, shutdown, err := r.newPeer()
+	if err != nil {
+		return []Violation{r.violation(n, "harness: opening peer: %v", err)}
+	}
+	defer shutdown()
+
+	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
+	_ = r.runReplicaWorkload(ffs, p, nil, ffs.OpCount) // error is the crash itself
+
+	node, err := replica.Open(replica.Config{Name: "a", FS: ffs.Snapshot()})
+	if err != nil {
+		return []Violation{r.violation(n, "recovery failed: %v", err)}
+	}
+	defer node.Close()
+
+	vec, err := node.Vector()
+	if err != nil {
+		return []Violation{r.violation(n, "reading recovered vector: %v", err)}
+	}
+	recovered := int(vec["a"])
+	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
+	var out []Violation
+	if !r.cfg.UnsafeNoSync && recovered < acked {
+		out = append(out, r.violation(n, "durability: recovered %d updates but %d were acknowledged", recovered, acked))
+	}
+	if recovered > attempted {
+		out = append(out, r.violation(n, "phantom: recovered %d updates but only %d were attempted", recovered, attempted))
+		return out
+	}
+	if got, err := replicaFingerprint(node); err != nil || got != r.plan.fp[recovered] {
+		return append(out, r.violation(n, "atomicity: recovered state diverges from the oracle prefix of %d updates (%v)", recovered, err))
+	}
+
+	// Catch-up: every acknowledged update was pushed to the peer before
+	// the crash, so one anti-entropy pull must restore the acknowledged
+	// prefix — even when the crashed node ran without local log syncs.
+	client := p.dial()
+	node.AddPeer("b", client)
+	if err := node.SyncWith(client); err != nil {
+		return append(out, r.violation(n, "catch-up: anti-entropy pull failed: %v", err))
+	}
+	if got, err := replicaFingerprint(node); err != nil || got != r.plan.fp[acked] {
+		return append(out, r.violation(n, "catch-up: state after anti-entropy diverges from the %d acknowledged updates (%v)", acked, err))
+	}
+	if got, err := replicaFingerprint(p.node); err != nil || got != r.plan.fp[acked] {
+		return append(out, r.violation(n, "peer diverges from the %d acknowledged updates (%v)", acked, err))
+	}
+
+	// Finish the workload on the recovered node; pushes propagate to the
+	// peer, and both replicas must land on the full oracle.
+	for k := acked; k < len(r.plan.updates); k++ {
+		if err := node.Apply(r.plan.updates[k]); err != nil {
+			return append(out, r.violation(n, "catch-up: update %d rejected after recovery: %v", k, err))
+		}
+	}
+	if got, err := replicaFingerprint(node); err != nil || got != r.plan.fp[len(r.plan.updates)] {
+		out = append(out, r.violation(n, "recovered node misses the full oracle after finishing the workload (%v)", err))
+	}
+	if got, err := replicaFingerprint(p.node); err != nil || got != r.plan.fp[len(r.plan.updates)] {
+		out = append(out, r.violation(n, "replicas diverge after finishing the workload (%v)", err))
+	}
+	return out
+}
+
+func replicaFingerprint(node *replica.Node) (uint64, error) {
+	var fp uint64
+	err := node.Store().View(func(root any) error {
+		rr, ok := root.(*replica.Root)
+		if !ok {
+			return fmt.Errorf("root is %T, not *replica.Root", root)
+		}
+		fp = fingerprintTree(rr.Tree)
+		return nil
+	})
+	return fp, err
+}

@@ -1,0 +1,114 @@
+package crashtest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPlanDeterministic: the same seed must generate the identical workload
+// and fingerprints (that is what makes (seed, n) a replayable coordinate),
+// and different seeds must diverge.
+func TestPlanDeterministic(t *testing.T) {
+	a, b := makePlan(7, 40), makePlan(7, 40)
+	if len(a.fp) != 41 || len(a.updates) != 40 {
+		t.Fatalf("plan sizes: %d fp, %d updates", len(a.fp), len(a.updates))
+	}
+	for i := range a.fp {
+		if a.fp[i] != b.fp[i] {
+			t.Fatalf("same seed diverged at prefix %d", i)
+		}
+	}
+	c := makePlan(8, 40)
+	if a.fp[40] == c.fp[40] {
+		t.Error("different seeds produced the same final fingerprint")
+	}
+}
+
+// TestPlanCoversUpdateKinds: a modest plan must include the multi-arc and
+// structural updates, or the atomicity checks would be vacuous.
+func TestPlanCoversUpdateKinds(t *testing.T) {
+	p := makePlan(1, 60)
+	kinds := map[string]int{}
+	for _, u := range p.updates {
+		kinds[fmt.Sprintf("%T", u)]++
+	}
+	for _, want := range []string{"*nameserver.SetValue", "*nameserver.PutSubtree", "*nameserver.DeleteSubtree", "*nameserver.Move"} {
+		if kinds[want] == 0 {
+			t.Errorf("plan of 60 updates contains no %s (got %v)", want, kinds)
+		}
+	}
+}
+
+// TestStoreTorture sweeps every crash point of a small store-mode workload.
+func TestStoreTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 15, Mode: ModeStore, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points < 20 {
+		t.Fatalf("suspiciously few crash points: %d", res.Points)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestReplicaTorture sweeps every crash point of a small replica-mode
+// workload, including the anti-entropy catch-up after each recovery.
+func TestReplicaTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 2, Ops: 10, Mode: ModeReplica, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestNoSyncSelfTest: running the store without log syncs forfeits the
+// commit point, and the harness must catch the resulting lost
+// acknowledged updates — proving the torture actually detects durability
+// bugs rather than vacuously passing.
+func TestNoSyncSelfTest(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 12, Mode: ModeStore, UnsafeNoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if strings.Contains(v.Msg, "durability") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no-sync run reported no durability violations (%d total): the harness is blind", len(res.Violations))
+	}
+}
+
+// TestNoSyncReplicaRecovers: the same forfeited durability is survivable
+// with a replica — the peer restores every acknowledged update (§4), so
+// the sweep must be clean.
+func TestNoSyncReplicaRecovers(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 10, Mode: ModeReplica, UnsafeNoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestPointRangeAndStride: From/To/Stride select the requested subset.
+func TestPointRangeAndStride(t *testing.T) {
+	res, err := Run(Config{Seed: 3, Ops: 8, Mode: ModeStore, From: 4, To: 12, Stride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points != 5 { // 4,6,8,10,12
+		t.Errorf("points = %d, want 5", res.Points)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}

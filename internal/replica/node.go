@@ -27,6 +27,12 @@ type Config struct {
 	Retain        int
 	MaxLogBytes   int64
 	MaxLogEntries int64
+	// UnsafeNoSync passes through to the store: the node forfeits local
+	// durability and relies on its peers to restore lost updates — the §4
+	// replica story, where "we respond to a hard error ... by restoring
+	// its data from another replica". The crashtest harness uses it to
+	// exercise exactly that recovery path.
+	UnsafeNoSync bool
 	// Obs and Tracer pass through to the store and additionally receive
 	// the replication metrics (replica_*) and the replica.push /
 	// replica.antientropy events.
@@ -84,6 +90,7 @@ func Open(cfg Config) (*Node, error) {
 		Retain:        cfg.Retain,
 		MaxLogBytes:   cfg.MaxLogBytes,
 		MaxLogEntries: cfg.MaxLogEntries,
+		UnsafeNoSync:  cfg.UnsafeNoSync,
 		Obs:           cfg.Obs,
 		Tracer:        cfg.Tracer,
 	})

@@ -1,0 +1,197 @@
+package faultfs
+
+import (
+	"errors"
+	"testing"
+
+	"smalldb/internal/obs"
+	"smalldb/internal/vfs"
+)
+
+// workload performs a fixed op sequence: create+write+sync "a" (3 ops),
+// write+sync more (2 ops), rename (1 op), create "b" + write, no sync
+// (2 ops). N = 8.
+func workload(fs vfs.FS) error {
+	f, err := fs.Create("a")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("one")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("two")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	f.Close()
+	if err := fs.Rename("a", "a2"); err != nil {
+		return err
+	}
+	g, err := fs.Create("b")
+	if err != nil {
+		return err
+	}
+	if _, err := g.Write([]byte("unsynced")); err != nil {
+		return err
+	}
+	g.Close()
+	return nil
+}
+
+func TestOpCounting(t *testing.T) {
+	ffs := New(vfs.NewMem(1), Options{CrashAt: Never})
+	if err := workload(ffs); err != nil {
+		t.Fatal(err)
+	}
+	if n := ffs.OpCount(); n != 8 {
+		t.Errorf("OpCount = %d, want 8", n)
+	}
+	if ffs.Crashed() {
+		t.Error("crashed without a crash point")
+	}
+	// Snapshot without a crash is the synced view: b exists but is empty.
+	snap := ffs.Snapshot()
+	if data, err := vfs.ReadFile(snap, "a2"); err != nil || string(data) != "onetwo" {
+		t.Errorf("a2 = %q, %v", data, err)
+	}
+	if data, err := vfs.ReadFile(snap, "b"); err != nil || len(data) != 0 {
+		t.Errorf("b = %q, %v; want empty", data, err)
+	}
+}
+
+// TestCrashAtEveryPoint replays the workload for each crash point and
+// checks the frozen image matches the durable state implied by the op
+// index.
+func TestCrashAtEveryPoint(t *testing.T) {
+	for n := int64(0); n <= 8; n++ {
+		ffs := New(vfs.NewMem(1), Options{CrashAt: n, TraceCap: 16})
+		err := workload(ffs)
+		if n < 8 {
+			if !errors.Is(err, ErrCrashed) {
+				t.Fatalf("n=%d: workload err = %v, want ErrCrashed", n, err)
+			}
+			if !ffs.Crashed() {
+				t.Fatalf("n=%d: not crashed", n)
+			}
+		} else if err != nil {
+			t.Fatalf("n=8: workload err = %v", err)
+		}
+		snap := ffs.Snapshot()
+		// The first sync is op 2; before it, "a" is empty or absent.
+		data, rerr := vfs.ReadFile(snap, "a")
+		switch {
+		case n <= 2:
+			if vfs.Exists(snap, "a") && len(mustRead(t, snap, "a")) != 0 {
+				t.Errorf("n=%d: a has durable content %q before first sync", n, data)
+			}
+		case n <= 4: // first sync done, second not
+			if rerr != nil || string(data) != "one" {
+				t.Errorf("n=%d: a = %q, %v; want \"one\"", n, data, rerr)
+			}
+		case n == 5: // second sync done, rename not
+			if rerr != nil || string(data) != "onetwo" {
+				t.Errorf("n=%d: a = %q, %v; want \"onetwo\"", n, data, rerr)
+			}
+		default: // rename durable
+			if vfs.Exists(snap, "a") {
+				t.Errorf("n=%d: a still exists after rename", n)
+			}
+			if d, err := vfs.ReadFile(snap, "a2"); err != nil || string(d) != "onetwo" {
+				t.Errorf("n=%d: a2 = %q, %v", n, d, err)
+			}
+		}
+	}
+}
+
+func mustRead(t *testing.T, fs vfs.FS, name string) []byte {
+	t.Helper()
+	data, err := vfs.ReadFile(fs, name)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return data
+}
+
+func TestEverythingFailsAfterCrash(t *testing.T) {
+	ffs := New(vfs.NewMem(1), Options{CrashAt: 3})
+	_ = workload(ffs)
+	if _, err := ffs.Create("x"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Create after crash: %v", err)
+	}
+	if _, err := ffs.Open("a"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Open after crash: %v", err)
+	}
+	if _, err := ffs.List(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("List after crash: %v", err)
+	}
+	if err := ffs.Remove("a"); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Remove after crash: %v", err)
+	}
+	// The frozen image is stable: mutations after the crash change nothing.
+	if got := ffs.OpCount(); got != 4 {
+		// ops 0..3 indexed; the crash consumed index 3.
+		t.Errorf("OpCount after crash = %d, want 4", got)
+	}
+}
+
+func TestFailSyncAt(t *testing.T) {
+	boom := errors.New("EIO")
+	ffs := New(vfs.NewMem(1), Options{CrashAt: Never})
+	ffs.FailSyncAt(2, boom)
+	f, _ := ffs.Create("a")
+	f.Write([]byte("x"))
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("second sync = %v, want injected error", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("third sync (injection is one-shot): %v", err)
+	}
+	f.Close()
+}
+
+func TestFailName(t *testing.T) {
+	boom := errors.New("EIO")
+	reg := obs.NewRegistry()
+	ffs := New(vfs.NewMem(1), Options{CrashAt: Never, Obs: reg})
+	ffs.FailName("version", boom)
+	if _, err := ffs.Create("newversion"); !errors.Is(err, boom) {
+		t.Fatalf("Create newversion = %v", err)
+	}
+	if _, err := ffs.Create("checkpoint1"); err != nil {
+		t.Fatalf("unrelated create: %v", err)
+	}
+	ffs.ClearFaults()
+	if _, err := ffs.Create("version"); err != nil {
+		t.Fatalf("create after ClearFaults: %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap["faultfs_injected_errors"].(uint64) != 1 {
+		t.Errorf("injected counter = %v", snap["faultfs_injected_errors"])
+	}
+}
+
+func TestTrace(t *testing.T) {
+	ffs := New(vfs.NewMem(1), Options{CrashAt: 4, TraceCap: 3})
+	_ = workload(ffs)
+	tr := ffs.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length = %d, want 3 (capped)", len(tr))
+	}
+	last := tr[len(tr)-1]
+	if last.Index != 4 || last.Injected != "crash" {
+		t.Errorf("last trace record = %+v, want crash at index 4", last)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Index != tr[i-1].Index+1 {
+			t.Errorf("trace indices not consecutive: %v", tr)
+		}
+	}
+}

@@ -47,7 +47,21 @@ type memFile struct {
 	damaged      map[int64]bool // damaged byte offsets (durable content)
 	dirty        map[int64]bool // page indices overwritten since last sync
 	minDirty     int64          // lowest offset written since last sync; -1 = none
+	failedFrom   int64          // start of a failed sync's damaged tail; -1 = none
 	syncedExists bool           // whether the file survives a crash at all
+	cow          bool           // byte slices are shared with a clone parent
+}
+
+// materialize gives a copy-on-write file private byte slices before the
+// first mutation, so a CloneSynced image and its parent never scribble on
+// each other's backing arrays.
+func (f *memFile) materialize() {
+	if !f.cow {
+		return
+	}
+	f.current = append(f.current[:0:0], f.current...)
+	f.synced = append(f.synced[:0:0], f.synced...)
+	f.cow = false
 }
 
 // NewMem returns an empty in-memory file system. seed fixes the randomness
@@ -74,7 +88,7 @@ func (m *Mem) Create(name string) (File, error) {
 	if err := ValidName(name); err != nil {
 		return nil, err
 	}
-	f := &memFile{damaged: make(map[int64]bool), minDirty: -1, syncedExists: true}
+	f := &memFile{damaged: make(map[int64]bool), minDirty: -1, failedFrom: -1, syncedExists: true}
 	m.files[name] = f
 	return &memHandle{fs: m, f: f, name: name, writable: true}, nil
 }
@@ -99,7 +113,7 @@ func (m *Mem) Append(name string) (File, error) {
 	}
 	f, ok := m.files[name]
 	if !ok {
-		f = &memFile{damaged: make(map[int64]bool), minDirty: -1, syncedExists: true}
+		f = &memFile{damaged: make(map[int64]bool), minDirty: -1, failedFrom: -1, syncedExists: true}
 		m.files[name] = f
 	}
 	return &memHandle{fs: m, f: f, name: name, writable: true, pos: int64(len(f.current))}, nil
@@ -180,7 +194,45 @@ func (m *Mem) Crash() {
 		f.current = append(f.current[:0:0], f.synced...)
 		f.dirty = nil
 		f.minDirty = -1
+		f.failedFrom = -1
 	}
+}
+
+// CloneSynced returns a new, independent Mem holding this file system's
+// durable view: exactly what a restart would find after a crash at this
+// instant — synced content only, unsynced data and never-synced files gone,
+// damage marks preserved. The clone is cheap: byte slices are shared
+// copy-on-write with the parent (O(files), not O(bytes)), so a crash-point
+// torture run can snapshot the disk at every operation without copying the
+// whole file system each time. Open handles are not cloned.
+func (m *Mem) CloneSynced() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clone := &Mem{files: make(map[string]*memFile, len(m.files)), rng: rand.New(rand.NewSource(1))}
+	for name, f := range m.files {
+		if !f.syncedExists {
+			continue
+		}
+		nf := &memFile{
+			synced:       f.synced,
+			current:      f.synced, // the durable view IS the content after a crash
+			damaged:      make(map[int64]bool, len(f.damaged)),
+			minDirty:     -1,
+			failedFrom:   -1,
+			syncedExists: true,
+			cow:          true,
+		}
+		for off := range f.damaged {
+			if off < int64(len(f.synced)) {
+				nf.damaged[off] = true
+			}
+		}
+		// The parent now shares its synced slice with the clone; its next
+		// mutation must copy first too.
+		f.cow = true
+		clone.files[name] = nf
+	}
+	return clone
 }
 
 // CrashTorn is Crash, except that for each file with unsynced data a random
@@ -198,6 +250,7 @@ func (m *Mem) CrashTorn(pageSize int) {
 			delete(m.files, name)
 			continue
 		}
+		f.materialize()
 		// In-place overwrites within the synced extent: each dirty page
 		// independently persists or reverts, so a multi-page in-place
 		// update can land half-written — §2's torn-update hazard.
@@ -341,6 +394,7 @@ func (h *memHandle) writeAtLocked(p []byte, off int64) (int, error) {
 	if !h.writable {
 		return 0, fmt.Errorf("vfs: write on read-only file %s", h.name)
 	}
+	h.f.materialize()
 	if grow := off + int64(len(p)) - int64(len(h.f.current)); grow > 0 {
 		h.f.current = append(h.f.current, make([]byte, grow)...)
 	}
@@ -392,6 +446,7 @@ func (h *memHandle) Truncate(size int64) error {
 	if !h.writable {
 		return fmt.Errorf("vfs: truncate on read-only file %s", h.name)
 	}
+	h.f.materialize()
 	cur := int64(len(h.f.current))
 	switch {
 	case size < cur:
@@ -407,8 +462,37 @@ func (h *memHandle) Sync() error {
 	defer h.fs.mu.Unlock()
 	if h.fs.FailSync != nil {
 		if err := h.fs.FailSync(h.name); err != nil {
+			// A failed sync is an interrupted flush: the unsynced
+			// tail being transferred is now indeterminate on disk,
+			// and §2's torn-update model says a partially written
+			// page reads back as an error. Make the tail durable but
+			// damaged (the marks survive Crash) rather than
+			// pretending the flush never started. Overwriting the
+			// region, or a later successful Sync of it, repairs it.
+			h.f.materialize()
+			if start := int64(len(h.f.synced)); int64(len(h.f.current)) > start {
+				for off := start; off < int64(len(h.f.current)); off++ {
+					h.f.damaged[off] = true
+				}
+				h.f.synced = append(h.f.synced, h.f.current[start:]...)
+				if h.f.failedFrom < 0 || start < h.f.failedFrom {
+					h.f.failedFrom = start
+				}
+			}
+			h.f.syncedExists = true
+			// dirty/minDirty stay set: the data is still unflushed,
+			// and a retried Sync must know the region to repair.
 			return err
 		}
+	}
+	h.f.materialize()
+	// A successful flush repairs earlier failed-sync damage: the whole
+	// region is rewritten from intact in-memory data.
+	if h.f.failedFrom >= 0 {
+		for off := h.f.failedFrom; off < int64(len(h.f.current)); off++ {
+			delete(h.f.damaged, off)
+		}
+		h.f.failedFrom = -1
 	}
 	// Fast path for append-only files (logs): when nothing within the
 	// already-synced extent was overwritten, only the new tail needs

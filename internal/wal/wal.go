@@ -416,6 +416,15 @@ func Replay(fs vfs.FS, name string, firstSeq uint64, opts ReplayOptions, fn func
 			res.GoodSize = off
 			expect = seq + 1
 			res.NextSeq = expect
+		case errors.Is(rerr, vfs.ErrDamaged) && n > 0 && !anyIntactFrom(f, off+n, size):
+			// Unreadable data running to the end of the log, with no
+			// intact entry beyond it: indistinguishable from a flush
+			// the crash interrupted mid-transfer — §2's torn update,
+			// whose partially written pages read back as errors.
+			// None of it committed (the sync never succeeded), so
+			// discard it as a torn tail.
+			res.Truncated = true
+			off = size // stop
 		case errors.Is(rerr, vfs.ErrDamaged) && opts.SkipDamaged && n > 0:
 			// The frame header was readable, so we know the
 			// entry's extent: hop over it. The update it held is
@@ -488,6 +497,25 @@ func FirstSeq(fs vfs.FS, name string) (seq uint64, ok bool, err error) {
 		return 0, false, rerr
 	}
 	return seq, true, nil
+}
+
+// anyIntactFrom reports whether any intact entry exists at or after off:
+// the test separating a hard-failed entry in the middle of the log (intact
+// data follows it) from a torn tail (unreadable to the end). It walks
+// frame by frame while extents remain decodable.
+func anyIntactFrom(f vfs.File, off, size int64) bool {
+	for off < size {
+		_, _, n, rerr := readEntry(f, off, size)
+		switch {
+		case rerr == nil:
+			return true
+		case errors.Is(rerr, vfs.ErrDamaged) && n > 0:
+			off += n // extent known: keep scanning
+		default:
+			return false // torn or unreadable extent: nothing beyond
+		}
+	}
+	return false
 }
 
 // errTorn marks a partially written tail entry.
