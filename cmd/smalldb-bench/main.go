@@ -24,13 +24,16 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"testing"
 	"time"
 
 	"smalldb/internal/bench"
 	"smalldb/internal/disk"
 	"smalldb/internal/nameserver"
 	"smalldb/internal/obs"
+	"smalldb/internal/pickle"
 	"smalldb/internal/vfs"
+	"smalldb/internal/wal"
 )
 
 func main() {
@@ -101,6 +104,93 @@ func phase(s obs.Snapshot) phaseJSON {
 	return phaseJSON{Count: s.Count, MeanNS: s.Mean, P50NS: s.P50, P90NS: s.P90, P99NS: s.P99, MaxNS: s.Max}
 }
 
+// microJSON is one micro-benchmark's result in the -json snapshot.
+type microJSON struct {
+	NSPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+func micro(r testing.BenchmarkResult) microJSON {
+	return microJSON{NSPerOp: r.NsPerOp(), BytesPerOp: r.AllocedBytesPerOp(), AllocsPerOp: r.AllocsPerOp()}
+}
+
+// benchUpdate mirrors the shape of a committed update record: a small
+// struct carried behind an interface, the exact thing the store pickles on
+// every commit and unpickles on every replayed log entry.
+type benchUpdate struct {
+	Path  []string
+	Value string
+}
+
+type benchRecord struct {
+	U any
+}
+
+func init() {
+	pickle.RegisterName("smalldb-bench.update", &benchUpdate{})
+}
+
+// microBenches measures the hot-path primitives directly — pickle
+// marshal/unmarshal of an update record, a checkpoint-style map encode,
+// and a log append — so the snapshot records codec and log costs
+// independently of the workload mix.
+func microBenches() (map[string]microJSON, error) {
+	rec := &benchRecord{U: &benchUpdate{Path: []string{"zone3", "host17", "attr1234"}, Value: "value-1234"}}
+	data, err := pickle.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	bigMap := make(map[string]string, 1000)
+	for i := 0; i < 1000; i++ {
+		bigMap[fmt.Sprintf("key-%04d", i)] = strings.Repeat("v", 32)
+	}
+
+	out := map[string]microJSON{}
+	out["pickle_marshal_record"] = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pickle.Marshal(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	out["pickle_unmarshal_record"] = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var r benchRecord
+			if err := pickle.Unmarshal(data, &r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	out["pickle_marshal_map1000"] = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pickle.Marshal(bigMap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	fs := vfs.NewMem(1)
+	l, err := wal.Create(fs, "microbench.log", 1, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	out["wal_append_256"] = micro(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return out, nil
+}
+
 // writeMetricsJSON runs the fixed metrics workload — an instrumented
 // in-memory store under a mixed update/enquiry load — and writes the
 // resulting snapshot.
@@ -129,6 +219,11 @@ func writeMetricsJSON(path string, ops int, seed int64) error {
 	elapsed := time.Since(start)
 	st := ns.Stats()
 
+	micros, err := microBenches()
+	if err != nil {
+		return err
+	}
+
 	out := map[string]any{
 		"schema":     "smalldb-bench-metrics/v1",
 		"ops":        map[string]uint64{"updates": st.Updates, "enquiries": st.Enquiries, "checkpoints": st.Checkpoints},
@@ -141,6 +236,7 @@ func writeMetricsJSON(path string, ops int, seed int64) error {
 			"checkpoint_pickle": phase(st.CheckpointPickleDist),
 			"checkpoint_io":     phase(st.CheckpointIODist),
 		},
+		"micro":   micros,
 		"metrics": reg.Snapshot(),
 	}
 	f, err := os.Create(path)

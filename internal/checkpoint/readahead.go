@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"io"
+	"sync"
+)
+
+// Checkpoint load is a strict producer/consumer: the disk delivers bytes,
+// the pickle decoder burns CPU turning them back into the root. A plain
+// buffered reader serializes the two. ReadAhead overlaps them — a
+// background goroutine keeps a few large chunks in flight ahead of the
+// decoder, so the disk read hides behind decode CPU (and vice versa).
+
+const (
+	readAheadChunk = 256 << 10
+	readAheadDepth = 4
+)
+
+type raChunk struct {
+	b   []byte
+	err error // terminal; delivered after b is consumed
+}
+
+// ReadAhead is an io.ReadCloser streaming from an underlying reader
+// through a bounded prefetch queue. Close stops the prefetch goroutine; it
+// does not close the underlying reader.
+type ReadAhead struct {
+	chunks chan raChunk
+	free   chan []byte
+	done   chan struct{}
+	once   sync.Once
+
+	cur raChunk
+	off int
+}
+
+// NewReadAhead starts prefetching from r and returns the reader facade.
+func NewReadAhead(r io.Reader) *ReadAhead {
+	ra := &ReadAhead{
+		chunks: make(chan raChunk, readAheadDepth),
+		free:   make(chan []byte, readAheadDepth),
+		done:   make(chan struct{}),
+	}
+	for i := 0; i < readAheadDepth; i++ {
+		ra.free <- make([]byte, readAheadChunk)
+	}
+	go ra.fill(r)
+	return ra
+}
+
+func (ra *ReadAhead) fill(r io.Reader) {
+	for {
+		var buf []byte
+		select {
+		case buf = <-ra.free:
+		case <-ra.done:
+			return
+		}
+		n, err := io.ReadFull(r, buf)
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF
+		}
+		select {
+		case ra.chunks <- raChunk{b: buf[:n], err: err}:
+		case <-ra.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (ra *ReadAhead) Read(p []byte) (int, error) {
+	for ra.off == len(ra.cur.b) {
+		if ra.cur.err != nil {
+			return 0, ra.cur.err
+		}
+		if ra.cur.b != nil {
+			// Hand the drained chunk back to the prefetcher.
+			select {
+			case ra.free <- ra.cur.b[:cap(ra.cur.b)]:
+			default:
+			}
+		}
+		select {
+		case c := <-ra.chunks:
+			ra.cur = c
+		case <-ra.done:
+			return 0, io.EOF
+		}
+		ra.off = 0
+	}
+	n := copy(p, ra.cur.b[ra.off:])
+	ra.off += n
+	return n, nil
+}
+
+// Close stops the prefetch goroutine. Reads after Close return io.EOF.
+func (ra *ReadAhead) Close() error {
+	ra.once.Do(func() { close(ra.done) })
+	return nil
+}

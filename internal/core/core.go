@@ -26,10 +26,10 @@
 package core
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +103,11 @@ type Config struct {
 	// entries instead of failing, for applications whose updates are
 	// independent (§4).
 	SkipDamagedLogEntries bool
+	// ReplayWorkers controls restart's decode pipeline: 0 picks a size
+	// from the machine (bounded), 1 forces the sequential replay, n > 1
+	// decodes log entries on n goroutines while applying them strictly in
+	// sequence order — the recovered state is identical either way.
+	ReplayWorkers int
 	// MaxLogBytes, when > 0, triggers an automatic checkpoint after an
 	// update leaves the log larger than this.
 	MaxLogBytes int64
@@ -250,10 +255,29 @@ func (s *Store) initObs() {
 		})
 		reg.Register("core_applied_seq", func() any { return s.AppliedSeq() })
 		reg.Register("core_checkpoint_version", func() any { return s.Version() })
+		reg.Register("replay_decode_workers", func() any { return s.replayWorkers() })
+		reg.Register("pickle_plan_compiles", func() any {
+			st := pickle.Stats()
+			return st.EncPlanCompiles + st.DecPlanCompiles
+		})
+		reg.Register("pickle_enc_pool_hit_rate", func() any { return poolHitRate(pickle.Stats().EncPoolGets, pickle.Stats().EncPoolMisses) })
+		reg.Register("pickle_dec_pool_hit_rate", func() any { return poolHitRate(pickle.Stats().DecPoolGets, pickle.Stats().DecPoolMisses) })
 	}
 	if reg != nil || s.tracer != nil {
 		s.lock.Instrument(reg, "core", s.tracer)
 	}
+}
+
+// poolHitRate renders a pool's hit rate in percent (gets that found warm
+// state), or -1 before any get.
+func poolHitRate(gets, misses uint64) any {
+	if gets == 0 {
+		return -1
+	}
+	if misses > gets { // counters are read racily; clamp
+		misses = gets
+	}
+	return int64((gets - misses) * 100 / gets)
 }
 
 // recordStats is the single mutation path for s.stats; all writers funnel
@@ -383,8 +407,11 @@ func (s *Store) readCheckpoint(name string) (*header, time.Duration, error) {
 	}
 	defer f.Close()
 	var hdr header
-	// The decoder issues many small reads; buffer them.
-	if err := pickle.Read(bufio.NewReaderSize(f, 1<<16), &hdr); err != nil {
+	// Prefetch the file ahead of the decoder so disk reads overlap
+	// decode CPU; the decoder adds its own small-read buffering on top.
+	ra := checkpoint.NewReadAhead(f)
+	defer ra.Close()
+	if err := pickle.Read(ra, &hdr); err != nil {
 		return nil, 0, fmt.Errorf("core: reading checkpoint %s: %w", name, err)
 	}
 	if hdr.Root == nil || hdr.NextSeq == 0 {
@@ -393,35 +420,57 @@ func (s *Store) readCheckpoint(name string) (*header, time.Duration, error) {
 	return &hdr, time.Since(start), nil
 }
 
+// replayWorkers resolves Config.ReplayWorkers: 0 sizes the decode pool
+// from the machine, capped — past a handful of decoders the strictly
+// sequential apply is the bottleneck and more goroutines only buy memory
+// traffic.
+func (s *Store) replayWorkers() int {
+	if s.cfg.ReplayWorkers != 0 {
+		return s.cfg.ReplayWorkers
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
 // replayInto replays the named log onto hdr.Root, returning the replay
 // result. When the log was replayed after a fallback checkpoint, firstSeq
-// overrides the header's.
+// overrides the header's. Decoding runs on the replayWorkers() pipeline;
+// updates are applied strictly in sequence order, so the recovered root is
+// identical to a sequential replay.
 func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wal.ReplayOptions) (wal.ReplayResult, error) {
 	// Progress events let an operator watch a long restart converge.
 	const progressEvery = 10000
 	start := time.Now()
-	res, err := wal.Replay(s.cfg.FS, logName, firstSeq, opts, func(seq uint64, payload []byte) error {
-		var rec logRecord
-		if err := pickle.Unmarshal(payload, &rec); err != nil {
-			return fmt.Errorf("core: log entry %d undecodable: %w", seq, err)
-		}
-		if rec.U == nil {
-			return fmt.Errorf("core: log entry %d holds no update", seq)
-		}
-		if err := rec.U.Apply(hdr.Root); err != nil {
-			return fmt.Errorf("core: replaying entry %d: %w", seq, err)
-		}
-		if n := seq - firstSeq + 1; n%progressEvery == 0 {
-			obs.Emit(s.tracer, obs.Event{Name: "replay.progress", Dur: time.Since(start), Attrs: []obs.Attr{
-				obs.A("log", logName), obs.A("entries", n),
-			}})
-		}
-		return nil
-	})
+	res, err := wal.ReplayPipelined(s.cfg.FS, logName, firstSeq, opts, s.replayWorkers(),
+		func(seq uint64, payload []byte) (any, error) {
+			rec := new(logRecord)
+			if err := pickle.Unmarshal(payload, rec); err != nil {
+				return nil, fmt.Errorf("core: log entry %d undecodable: %w", seq, err)
+			}
+			if rec.U == nil {
+				return nil, fmt.Errorf("core: log entry %d holds no update", seq)
+			}
+			return rec, nil
+		},
+		func(seq uint64, v any) error {
+			if err := v.(*logRecord).U.Apply(hdr.Root); err != nil {
+				return fmt.Errorf("core: replaying entry %d: %w", seq, err)
+			}
+			if n := seq - firstSeq + 1; n%progressEvery == 0 {
+				obs.Emit(s.tracer, obs.Event{Name: "replay.progress", Dur: time.Since(start), Attrs: []obs.Attr{
+					obs.A("log", logName), obs.A("entries", n),
+				}})
+			}
+			return nil
+		})
 	dur := time.Since(start)
 	s.recordStats(func(st *Stats) { st.RestartReplayTime += dur })
 	obs.Emit(s.tracer, obs.Event{Name: "restart.replay", Dur: dur, Err: err, Attrs: []obs.Attr{
 		obs.A("log", logName), obs.A("entries", res.Entries), obs.A("damaged", res.Damaged), obs.A("torn", res.Truncated),
+		obs.A("decode_workers", s.replayWorkers()),
 	}})
 	return res, err
 }
@@ -494,12 +543,18 @@ func (s *Store) Apply(u Update) error {
 	t1 := time.Now()
 
 	// Step 2: gather the parameters into a log entry and write it to
-	// disk — the commit point. Enquiries still running.
-	payload, err := pickle.Marshal(&logRecord{U: u})
+	// disk — the commit point. Enquiries still running. The payload is
+	// pickled into a pooled buffer; the log frames it into its own
+	// pending buffer before AppendAsync returns, so the buffer goes
+	// straight back to the pool and the steady-state path allocates
+	// nothing.
+	bufp := payloadPool.Get().(*[]byte)
+	payload, err := pickle.AppendMarshal((*bufp)[:0], &logRecord{U: u})
 	if err != nil {
 		s.lock.UpdateUnlock()
 		return fmt.Errorf("core: pickling update: %w", err)
 	}
+	payloadBytes := len(payload)
 	t2 := time.Now()
 
 	var commitErr error
@@ -509,11 +564,12 @@ func (s *Store) Apply(u Update) error {
 		seq, wait = log.AppendAsync(payload)
 	} else {
 		seq, commitErr = log.Append(payload)
-		if commitErr != nil {
-			s.poison(commitErr)
-			s.lock.UpdateUnlock()
-			return commitErr
-		}
+	}
+	putPayloadBuf(bufp, payload)
+	if commitErr != nil {
+		s.poison(commitErr)
+		s.lock.UpdateUnlock()
+		return commitErr
 	}
 	t3 := time.Now()
 
@@ -546,9 +602,23 @@ func (s *Store) Apply(u Update) error {
 		}
 	}
 
-	s.recordUpdate(t0, t1, t2, t3, t4, seq, len(payload))
+	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes)
 	s.maybeAutoCheckpoint()
 	return nil
+}
+
+// payloadPool recycles the buffers updates are pickled into on their way to
+// the log. Indirect ([]byte behind a pointer) so Put does not allocate.
+var payloadPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// putPayloadBuf returns a pickled-payload buffer to the pool, unless it
+// grew past what is worth keeping.
+func putPayloadBuf(bufp *[]byte, payload []byte) {
+	if cap(payload) > 1<<20 {
+		return
+	}
+	*bufp = payload[:0]
+	payloadPool.Put(bufp)
 }
 
 // applyCoarse is the E8 ablation: the entire update, disk write included,
@@ -576,12 +646,15 @@ func (s *Store) applyCoarse(u Update) error {
 		return err
 	}
 	t1 := time.Now()
-	payload, err := pickle.Marshal(&logRecord{U: u})
+	bufp := payloadPool.Get().(*[]byte)
+	payload, err := pickle.AppendMarshal((*bufp)[:0], &logRecord{U: u})
 	if err != nil {
 		return fmt.Errorf("core: pickling update: %w", err)
 	}
+	payloadBytes := len(payload)
 	t2 := time.Now()
 	seq, err := log.Append(payload)
+	putPayloadBuf(bufp, payload)
 	if err != nil {
 		s.poison(err)
 		return err
@@ -598,7 +671,7 @@ func (s *Store) applyCoarse(u Update) error {
 	s.mu.Unlock()
 	t4 := time.Now()
 
-	s.recordUpdate(t0, t1, t2, t3, t4, seq, len(payload))
+	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes)
 	s.maybeAutoCheckpoint()
 	return nil
 }

@@ -57,6 +57,10 @@ type Config struct {
 	// node forfeits local durability and recovery restores the lost
 	// updates from the peer; no violation is expected.
 	UnsafeNoSync bool
+	// ReplayWorkers passes through to recovery's decode pipeline
+	// (0 = auto, 1 = sequential), so the sweep can torture pipelined
+	// restart at every crash point.
+	ReplayWorkers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -225,7 +229,7 @@ func (r *runner) reference() (int64, error) {
 // checkpoints, stopping at the first error (the crash, in a torture
 // replay).
 func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64) error {
-	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync})
+	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
 		return err
 	}
@@ -258,7 +262,7 @@ func (r *runner) storePoint(n int64) []Violation {
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
 	_ = r.runStoreWorkload(ffs, nil, ffs.OpCount) // error is the crash itself
 
-	srv, err := nameserver.Open(nameserver.Config{FS: ffs.Snapshot()})
+	srv, err := nameserver.Open(nameserver.Config{FS: ffs.Snapshot(), ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
 		return []Violation{r.violation(n, "recovery failed: %v", err)}
 	}
@@ -349,7 +353,7 @@ func (p *peer) dial() *rpc.Client {
 // committed update to the peer, checkpointing on the same schedule as
 // store mode.
 func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount func() int64) error {
-	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync})
+	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
 		return err
 	}
@@ -389,7 +393,7 @@ func (r *runner) replicaPoint(n int64) []Violation {
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
 	_ = r.runReplicaWorkload(ffs, p, nil, ffs.OpCount) // error is the crash itself
 
-	node, err := replica.Open(replica.Config{Name: "a", FS: ffs.Snapshot()})
+	node, err := replica.Open(replica.Config{Name: "a", FS: ffs.Snapshot(), ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
 		return []Violation{r.violation(n, "recovery failed: %v", err)}
 	}

@@ -25,6 +25,9 @@ type Config struct {
 	// SkipDamagedLogEntries passes through; name-server updates are
 	// independent enough for the paper's skip-the-damaged-entry story.
 	SkipDamagedLogEntries bool
+	// ReplayWorkers passes through to the store's restart decode
+	// pipeline (0 = auto, 1 = sequential).
+	ReplayWorkers int
 	// Obs and Tracer pass through to the store's instrumentation.
 	Obs    *obs.Registry
 	Tracer obs.Tracer
@@ -48,6 +51,7 @@ func Open(cfg Config) (*Server, error) {
 		MaxLogBytes:           cfg.MaxLogBytes,
 		MaxLogEntries:         cfg.MaxLogEntries,
 		SkipDamagedLogEntries: cfg.SkipDamagedLogEntries,
+		ReplayWorkers:         cfg.ReplayWorkers,
 		Obs:                   cfg.Obs,
 		Tracer:                cfg.Tracer,
 	})

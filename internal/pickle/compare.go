@@ -1,0 +1,118 @@
+package pickle
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+)
+
+// Map keys are sorted before encoding so that the same logical map always
+// pickles to the same bytes. The ordering function is compiled once per key
+// type and cached, so sorting a large map makes no per-comparison kind
+// decisions.
+
+// A cmpFn orders two values of one fixed type: negative, zero or positive
+// as a sorts before, equal to, or after b.
+type cmpFn func(a, b reflect.Value) int
+
+var keyComparers sync.Map // reflect.Type -> cmpFn (nil entries stored as (*cmpFn)(nil) sentinel)
+
+// keyComparer returns a compiled ordering for map keys of type rt, or nil
+// when the type admits no stable order (pointers, interfaces, channels) —
+// such maps are encoded in iteration order, as before.
+func keyComparer(rt reflect.Type) cmpFn {
+	if f, ok := keyComparers.Load(rt); ok {
+		if f == nil {
+			return nil
+		}
+		return f.(cmpFn)
+	}
+	fn := buildComparer(rt)
+	if fn == nil {
+		keyComparers.Store(rt, nil)
+	} else {
+		keyComparers.Store(rt, fn)
+	}
+	return fn
+}
+
+func buildComparer(rt reflect.Type) cmpFn {
+	switch rt.Kind() {
+	case reflect.String:
+		return func(a, b reflect.Value) int { return strings.Compare(a.String(), b.String()) }
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return func(a, b reflect.Value) int { return cmpOrdered(a.Int(), b.Int()) }
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return func(a, b reflect.Value) int { return cmpOrdered(a.Uint(), b.Uint()) }
+	case reflect.Float32, reflect.Float64:
+		// NaNs compare as equal to everything, matching the previous
+		// behavior of sorting with a < predicate.
+		return func(a, b reflect.Value) int { return cmpOrdered(a.Float(), b.Float()) }
+	case reflect.Bool:
+		return func(a, b reflect.Value) int {
+			x, y := a.Bool(), b.Bool()
+			switch {
+			case x == y:
+				return 0
+			case !x:
+				return -1
+			default:
+				return 1
+			}
+		}
+	case reflect.Complex64, reflect.Complex128:
+		return func(a, b reflect.Value) int {
+			x, y := a.Complex(), b.Complex()
+			if c := cmpOrdered(real(x), real(y)); c != 0 {
+				return c
+			}
+			return cmpOrdered(imag(x), imag(y))
+		}
+	case reflect.Array:
+		elem := buildComparer(rt.Elem())
+		if elem == nil {
+			return nil
+		}
+		n := rt.Len()
+		return func(a, b reflect.Value) int {
+			for i := 0; i < n; i++ {
+				if c := elem(a.Index(i), b.Index(i)); c != 0 {
+					return c
+				}
+			}
+			return 0
+		}
+	case reflect.Struct:
+		// Compare every field — including unexported ones, which the
+		// typed accessors used by the compiled comparers can read — so
+		// the order is total across distinct map keys.
+		n := rt.NumField()
+		fns := make([]cmpFn, n)
+		for i := 0; i < n; i++ {
+			if fns[i] = buildComparer(rt.Field(i).Type); fns[i] == nil {
+				return nil
+			}
+		}
+		return func(a, b reflect.Value) int {
+			for i, fn := range fns {
+				if c := fn(a.Field(i), b.Field(i)); c != 0 {
+					return c
+				}
+			}
+			return 0
+		}
+	default:
+		return nil
+	}
+}
+
+func cmpOrdered[T int64 | uint64 | float64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

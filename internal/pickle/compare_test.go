@@ -1,0 +1,125 @@
+package pickle
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Map keys are emitted in sorted order so the same map always pickles to
+// the same bytes (checkpoints are diffable, fingerprints are stable). The
+// sort runs through compiled comparers; these tests pin the determinism
+// and ordering for the non-string key kinds the comparers cover.
+
+func marshalTimes(t *testing.T, v any, n int) []byte {
+	t.Helper()
+	first, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		b, err := Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatalf("encoding %d differs from encoding 0 (map key order is not deterministic)", i)
+		}
+	}
+	return first
+}
+
+func TestStructKeyedMapDeterministic(t *testing.T) {
+	type key struct {
+		A int
+		B string
+	}
+	m := map[key]int{}
+	for i := 0; i < 64; i++ {
+		m[key{A: i % 8, B: string(rune('a' + i%13))}] = i
+	}
+	data := marshalTimes(t, m, 10)
+	var out map[key]int
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, out) {
+		t.Errorf("round trip lost entries: got %d, want %d", len(out), len(m))
+	}
+}
+
+func TestArrayKeyedMapDeterministic(t *testing.T) {
+	m := map[[3]int16]string{}
+	for i := 0; i < 48; i++ {
+		m[[3]int16{int16(i % 4), int16(i % 6), int16(i)}] = "x"
+	}
+	data := marshalTimes(t, m, 10)
+	var out map[[3]int16]string
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, out) {
+		t.Errorf("round trip lost entries: got %d, want %d", len(out), len(m))
+	}
+}
+
+func TestFloatKeyedMapDeterministic(t *testing.T) {
+	m := map[float64]int{}
+	for i := 0; i < 32; i++ {
+		m[float64(i)*1.5-16] = i
+	}
+	marshalTimes(t, m, 10)
+}
+
+// TestKeyComparerOrdering checks the comparers agree with the natural
+// order, not just some stable order: struct keys compare field by field in
+// declaration order, arrays element by element.
+func TestKeyComparerOrdering(t *testing.T) {
+	type key struct {
+		A int
+		B string
+	}
+	cmp := keyComparer(reflect.TypeOf(key{}))
+	if cmp == nil {
+		t.Fatal("no comparer for orderable struct key")
+	}
+	lt := func(a, b key) bool {
+		return cmp(reflect.ValueOf(a), reflect.ValueOf(b)) < 0
+	}
+	if !lt(key{0, "z"}, key{1, "a"}) {
+		t.Error("first field must dominate")
+	}
+	if !lt(key{1, "a"}, key{1, "b"}) {
+		t.Error("tie breaks on the second field")
+	}
+
+	acmp := keyComparer(reflect.TypeOf([2]uint8{}))
+	if acmp == nil {
+		t.Fatal("no comparer for array key")
+	}
+	if acmp(reflect.ValueOf([2]uint8{0, 9}), reflect.ValueOf([2]uint8{1, 0})) >= 0 {
+		t.Error("arrays compare elementwise from the front")
+	}
+}
+
+// TestUnorderableKeysStillRoundTrip: pointer keys have no useful order, so
+// the comparer bows out and the encoder falls back to iteration order —
+// the map must still round-trip.
+func TestUnorderableKeysStillRoundTrip(t *testing.T) {
+	if keyComparer(reflect.TypeOf((*int)(nil))) != nil {
+		t.Error("pointer keys should have no comparer")
+	}
+	a, b := 1, 2
+	m := map[*int]string{&a: "a", &b: "b", nil: "nil"}
+	data, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[*int]string
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("round trip lost entries: %d", len(out))
+	}
+}

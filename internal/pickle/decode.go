@@ -10,6 +10,13 @@ import (
 	"sync"
 )
 
+// Decoding mirrors the encoder's compiled-plan design: the first decode
+// into a Go type compiles a per-type decode program (overflow checks, field
+// tables and element programs resolved ahead of time) cached in a
+// package-wide sync.Map, so steady-state Unmarshal walks no reflection
+// trees. Unmarshal additionally reads straight from the caller's byte
+// slice — no bufio layer, no per-call buffering — on a pooled Decoder.
+
 // A Decoder reads pickled values from an input stream. It is the inverse of
 // Encoder: the stream's struct-type table accumulates across Decode calls on
 // the same Decoder, while pointer/map identity is scoped to a single decoded
@@ -18,17 +25,53 @@ import (
 // A Decoder buffers its input; do not interleave reads on the underlying
 // reader with Decode calls.
 type Decoder struct {
-	r       *bufio.Reader
-	types   []streamType
+	r       *bufio.Reader // streaming input; nil when reading from data
+	data    []byte        // slice input (Unmarshal path)
+	pos     int
+	types   []*streamType
 	readHdr bool
+	scratch []byte // reused by readName on the streaming path
+
+	// Per-value-graph state: the identity table for shared pointers and
+	// maps, and the recursion depth.
+	refs  map[uint64]reflect.Value
+	depth int
 }
 
 // streamType is a struct type as described by the stream: its printed name
 // (diagnostics only — matching is by field name) and its field names in
-// stream order.
+// stream order. Instances seen on the byte-slice path are interned by their
+// raw definition bytes, so the per-target field match below is computed
+// once per (stream type, target type) pair process-wide.
 type streamType struct {
 	name   string
 	fields []string
+	match  sync.Map // *structDecPlan -> []int (stream field -> plan slot, -1 = skip)
+}
+
+// matchFor returns, for each stream field in order, the plan slot it decodes
+// into, or -1 when the target type has no such field.
+func (st *streamType) matchFor(p *structDecPlan) []int {
+	if m, ok := st.match.Load(p); ok {
+		return m.([]int)
+	}
+	m := make([]int, len(st.fields))
+	for i, name := range st.fields {
+		slot, ok := p.byName[name]
+		if !ok {
+			slot = -1
+		}
+		m[i] = slot
+	}
+	st.match.Store(p, m)
+	return m
+}
+
+// typeIntern deduplicates stream-type definitions across Decoders, keyed by
+// the raw definition bytes. The lookup on the hot path allocates nothing.
+var typeIntern struct {
+	sync.RWMutex
+	m map[string]*streamType
 }
 
 // NewDecoder returns a Decoder reading from r.
@@ -46,17 +89,25 @@ func (d *Decoder) Decode(ptr any) error {
 	if err := d.header(); err != nil {
 		return err
 	}
-	st := &decState{refs: make(map[uint64]reflect.Value)}
-	return d.decodeValue(st, rv.Elem(), 0)
+	if len(d.refs) > 0 {
+		clear(d.refs)
+	}
+	d.depth = 0
+	tag, err := d.readByte()
+	if err != nil {
+		return err
+	}
+	elem := rv.Elem()
+	return decoderOf(elem.Type())(d, elem, tag)
 }
 
 func (d *Decoder) header() error {
 	if d.readHdr {
 		return nil
 	}
-	b, err := d.r.ReadByte()
+	b, err := d.readByte()
 	if err != nil {
-		return wrapEOF(err)
+		return err
 	}
 	if b != magic {
 		return errf("bad magic byte %#x: not a pickle stream", b)
@@ -65,9 +116,21 @@ func (d *Decoder) header() error {
 	return nil
 }
 
-// decState is per-value-graph decode state.
-type decState struct {
-	refs map[uint64]reflect.Value
+// enter counts one level of value nesting, bounding what a hostile stream
+// can make the decoder recurse.
+func (d *Decoder) enter() error {
+	d.depth++
+	if d.depth > MaxDepth {
+		return errf("stream exceeds maximum depth %d", MaxDepth)
+	}
+	return nil
+}
+
+func (d *Decoder) setRef(id uint64, v reflect.Value) {
+	if d.refs == nil {
+		d.refs = make(map[uint64]reflect.Value)
+	}
+	d.refs[id] = v
 }
 
 func wrapEOF(err error) error {
@@ -81,26 +144,70 @@ func wrapEOF(err error) error {
 }
 
 func (d *Decoder) readByte() (byte, error) {
-	b, err := d.r.ReadByte()
-	return b, wrapEOF(err)
+	if d.r != nil {
+		b, err := d.r.ReadByte()
+		return b, wrapEOF(err)
+	}
+	if d.pos >= len(d.data) {
+		return 0, io.EOF
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
 }
 
 func (d *Decoder) readUvarint() (uint64, error) {
-	u, err := binary.ReadUvarint(d.r)
-	return u, wrapEOF(err)
+	if d.r != nil {
+		u, err := binary.ReadUvarint(d.r)
+		return u, wrapEOF(err)
+	}
+	u, n := binary.Uvarint(d.data[d.pos:])
+	if n > 0 {
+		d.pos += n
+		return u, nil
+	}
+	if n == 0 {
+		if d.pos >= len(d.data) {
+			return 0, io.EOF
+		}
+		return 0, errf("truncated stream")
+	}
+	return 0, errf("varint overflows a 64-bit integer")
 }
 
 func (d *Decoder) readVarint() (int64, error) {
-	i, err := binary.ReadVarint(d.r)
-	return i, wrapEOF(err)
+	if d.r != nil {
+		i, err := binary.ReadVarint(d.r)
+		return i, wrapEOF(err)
+	}
+	i, n := binary.Varint(d.data[d.pos:])
+	if n > 0 {
+		d.pos += n
+		return i, nil
+	}
+	if n == 0 {
+		if d.pos >= len(d.data) {
+			return 0, io.EOF
+		}
+		return 0, errf("truncated stream")
+	}
+	return 0, errf("varint overflows a 64-bit integer")
 }
 
 func (d *Decoder) readFull(p []byte) error {
-	_, err := io.ReadFull(d.r, p)
-	if err == io.EOF {
-		err = errf("truncated stream")
+	if d.r != nil {
+		_, err := io.ReadFull(d.r, p)
+		if err == io.EOF {
+			err = errf("truncated stream")
+		}
+		return wrapEOF(err)
 	}
-	return wrapEOF(err)
+	if len(d.data)-d.pos < len(p) {
+		return errf("truncated stream")
+	}
+	copy(p, d.data[d.pos:])
+	d.pos += len(p)
+	return nil
 }
 
 func (d *Decoder) readString(limit uint64) (string, error) {
@@ -111,11 +218,49 @@ func (d *Decoder) readString(limit uint64) (string, error) {
 	if n > limit {
 		return "", errf("string length %d exceeds limit %d", n, limit)
 	}
+	if d.r == nil {
+		if uint64(len(d.data)-d.pos) < n {
+			return "", errf("truncated stream")
+		}
+		s := string(d.data[d.pos : d.pos+int(n)])
+		d.pos += int(n)
+		return s, nil
+	}
 	buf := make([]byte, n)
 	if err := d.readFull(buf); err != nil {
 		return "", err
 	}
 	return string(buf), nil
+}
+
+// readName reads a length-prefixed name, returning bytes valid only until
+// the next read. On the slice path this is a view into the input; on the
+// streaming path it is the Decoder's scratch buffer. It exists so the hot
+// interface-type lookup allocates nothing.
+func (d *Decoder) readName(limit uint64) ([]byte, error) {
+	n, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, errf("string length %d exceeds limit %d", n, limit)
+	}
+	if d.r == nil {
+		if uint64(len(d.data)-d.pos) < n {
+			return nil, errf("truncated stream")
+		}
+		s := d.data[d.pos : d.pos+int(n)]
+		d.pos += int(n)
+		return s, nil
+	}
+	if uint64(cap(d.scratch)) < n {
+		d.scratch = make([]byte, n)
+	}
+	s := d.scratch[:n]
+	if err := d.readFull(s); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func (d *Decoder) readFloat64() (float64, error) {
@@ -126,42 +271,82 @@ func (d *Decoder) readFloat64() (float64, error) {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
 }
 
-// decodeValue reads one value into v, which must be settable.
-func (d *Decoder) decodeValue(st *decState, v reflect.Value, depth int) error {
-	if depth > MaxDepth {
-		return errf("stream exceeds maximum depth %d", MaxDepth)
+// A decFn is one compiled decode program: given the already-read tag byte
+// of the next stream value, it decodes that value into v, which must be
+// settable and of the program's fixed static type.
+type decFn func(d *Decoder, v reflect.Value, tag byte) error
+
+// decPlans caches the compiled per-type decode programs.
+var decPlans sync.Map // reflect.Type -> decFn
+
+// decoderOf returns rt's compiled decode program, compiling it on first
+// use.
+func decoderOf(rt reflect.Type) decFn {
+	if f, ok := decPlans.Load(rt); ok {
+		return f.(decFn)
 	}
-	tag, err := d.readByte()
-	if err != nil {
-		return err
+	var (
+		wg sync.WaitGroup
+		fn decFn
+	)
+	wg.Add(1)
+	stub := decFn(func(d *Decoder, v reflect.Value, tag byte) error {
+		wg.Wait()
+		return fn(d, v, tag)
+	})
+	if actual, loaded := decPlans.LoadOrStore(rt, stub); loaded {
+		return actual.(decFn)
 	}
-	return d.decodeTagged(st, tag, v, depth)
+	fn = buildDecoder(rt)
+	wg.Done()
+	decPlans.Store(rt, fn)
+	codec.decPlanCompiles.Add(1)
+	return fn
 }
 
-func (d *Decoder) decodeTagged(st *decState, tag byte, v reflect.Value, depth int) error {
-	// Pointer-level tolerance, as in encoding/gob: a non-pointer stream
-	// value decodes into a pointer target by allocating, and a pointer
-	// stream value decodes into a non-pointer target by dereferencing.
-	// Writers and readers therefore need not agree on whether the value
-	// was passed as &x or x.
-	if v.Kind() == reflect.Pointer && tag != tNil && tag != tPtr && tag != tRef {
-		np := reflect.New(v.Type().Elem())
-		v.Set(np)
-		return d.decodeTagged(st, tag, np.Elem(), depth)
-	}
-	if tag == tPtr && v.Kind() != reflect.Pointer {
-		id, err := d.readUvarint()
-		if err != nil {
-			return err
+func buildDecoder(rt reflect.Type) decFn {
+	switch rt.Kind() {
+	case reflect.Bool:
+		return decBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return decInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return decUint
+	case reflect.Float32, reflect.Float64:
+		return decFloat
+	case reflect.Complex64, reflect.Complex128:
+		return decComplex
+	case reflect.String:
+		return decString
+	case reflect.Slice:
+		if rt.Elem().Kind() == reflect.Uint8 {
+			return buildBytesDecoder(rt)
 		}
-		if v.CanAddr() {
-			st.refs[id] = v.Addr()
+		return buildSliceDecoder(rt)
+	case reflect.Array:
+		return buildArrayDecoder(rt)
+	case reflect.Map:
+		return buildMapDecoder(rt)
+	case reflect.Struct:
+		return buildStructDecoder(rt)
+	case reflect.Pointer:
+		return buildPointerDecoder(rt)
+	case reflect.Interface:
+		return decIface
+	default:
+		return func(d *Decoder, v reflect.Value, tag byte) error {
+			return errf("cannot decode into value of kind %v (%v)", rt.Kind(), rt)
 		}
-		return d.decodeValue(st, v, depth+1)
 	}
+}
 
-	// An interface target accepts any concrete stream value only via
-	// tIface or tNil; anything else is a mismatch caught below.
+// tolerant handles the stream tags every program accepts in its default
+// case, preserving encoding/gob-style pointer-level tolerance: a pointer
+// stream value decodes into a non-pointer target by dereferencing (the
+// mirror case lives in the pointer program), a shared reference resolves
+// through the identity table, and an interface-pickled value decodes into
+// its own concrete type.
+func (d *Decoder) tolerant(v reflect.Value, tag byte, self decFn) error {
 	switch tag {
 	case tNil:
 		switch v.Kind() {
@@ -170,255 +355,483 @@ func (d *Decoder) decodeTagged(st *decState, tag byte, v reflect.Value, depth in
 			return nil
 		}
 		return errf("stream has nil but target is %v", v.Type())
-	case tFalse, tTrue:
-		if v.Kind() != reflect.Bool {
-			return mismatch(tag, v)
-		}
-		v.SetBool(tag == tTrue)
-		return nil
-	case tInt:
-		i, err := d.readVarint()
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			if v.OverflowInt(i) {
-				return errf("value %d overflows %v", i, v.Type())
-			}
-			v.SetInt(i)
-			return nil
-		}
-		return mismatch(tag, v)
-	case tUint:
-		u, err := d.readUvarint()
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-			if v.OverflowUint(u) {
-				return errf("value %d overflows %v", u, v.Type())
-			}
-			v.SetUint(u)
-			return nil
-		}
-		return mismatch(tag, v)
-	case tFloat32:
-		var b [4]byte
-		if err := d.readFull(b[:]); err != nil {
-			return err
-		}
-		f := math.Float32frombits(binary.LittleEndian.Uint32(b[:]))
-		switch v.Kind() {
-		case reflect.Float32, reflect.Float64:
-			v.SetFloat(float64(f))
-			return nil
-		}
-		return mismatch(tag, v)
-	case tFloat64:
-		f, err := d.readFloat64()
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Float64:
-			v.SetFloat(f)
-			return nil
-		case reflect.Float32:
-			if v.OverflowFloat(f) {
-				return errf("value %g overflows float32", f)
-			}
-			v.SetFloat(f)
-			return nil
-		}
-		return mismatch(tag, v)
-	case tComplex:
-		re, err := d.readFloat64()
-		if err != nil {
-			return err
-		}
-		im, err := d.readFloat64()
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Complex64, reflect.Complex128:
-			v.SetComplex(complex(re, im))
-			return nil
-		}
-		return mismatch(tag, v)
-	case tString, tBytes:
-		s, err := d.readString(MaxStringLen)
-		if err != nil {
-			return err
-		}
-		switch {
-		case v.Kind() == reflect.String:
-			v.SetString(s)
-			return nil
-		case v.Kind() == reflect.Slice && v.Type().Elem().Kind() == reflect.Uint8:
-			v.SetBytes([]byte(s))
-			return nil
-		}
-		return mismatch(tag, v)
-	case tSlice:
-		n, err := d.readUvarint()
-		if err != nil {
-			return err
-		}
-		if n > MaxElems {
-			return errf("slice length %d exceeds limit %d", n, MaxElems)
-		}
-		if v.Kind() != reflect.Slice {
-			return mismatch(tag, v)
-		}
-		s := reflect.MakeSlice(v.Type(), int(n), int(n))
-		for i := 0; i < int(n); i++ {
-			if err := d.decodeValue(st, s.Index(i), depth+1); err != nil {
-				return err
-			}
-		}
-		v.Set(s)
-		return nil
-	case tArray:
-		n, err := d.readUvarint()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Array {
-			return mismatch(tag, v)
-		}
-		if int(n) != v.Len() {
-			return errf("array length mismatch: stream %d, target %v", n, v.Type())
-		}
-		for i := 0; i < int(n); i++ {
-			if err := d.decodeValue(st, v.Index(i), depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
-	case tMap:
-		id, err := d.readUvarint()
-		if err != nil {
-			return err
-		}
-		n, err := d.readUvarint()
-		if err != nil {
-			return err
-		}
-		if n > MaxElems {
-			return errf("map length %d exceeds limit %d", n, MaxElems)
-		}
-		if v.Kind() != reflect.Map {
-			return mismatch(tag, v)
-		}
-		m := reflect.MakeMapWithSize(v.Type(), int(n))
-		v.Set(m)
-		st.refs[id] = m
-		kt, vt := v.Type().Key(), v.Type().Elem()
-		for i := 0; i < int(n); i++ {
-			k := reflect.New(kt).Elem()
-			if err := d.decodeValue(st, k, depth+1); err != nil {
-				return err
-			}
-			val := reflect.New(vt).Elem()
-			if err := d.decodeValue(st, val, depth+1); err != nil {
-				return err
-			}
-			m.SetMapIndex(k, val)
-		}
-		return nil
-	case tStruct:
-		stype, err := d.readStructType()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Struct {
-			return errf("stream has struct %s but target is %v", stype.name, v.Type())
-		}
-		idx := fieldIndex(v.Type())
-		for _, fname := range stype.fields {
-			if i, ok := idx[fname]; ok {
-				if err := d.decodeValue(st, v.Field(i), depth+1); err != nil {
-					return err
-				}
-			} else if err := d.skipValue(st, depth+1); err != nil {
-				return err
-			}
-		}
-		return nil
 	case tPtr:
 		id, err := d.readUvarint()
 		if err != nil {
 			return err
 		}
-		if v.Kind() != reflect.Pointer {
-			return mismatch(tag, v)
+		if v.CanAddr() {
+			d.setRef(id, v.Addr())
 		}
-		np := reflect.New(v.Type().Elem())
-		v.Set(np)
-		st.refs[id] = np
-		return d.decodeValue(st, np.Elem(), depth+1)
+		if err := d.enter(); err != nil {
+			return err
+		}
+		tag2, err := d.readByte()
+		if err != nil {
+			return err
+		}
+		err = self(d, v, tag2)
+		d.depth--
+		return err
 	case tRef:
-		id, err := d.readUvarint()
-		if err != nil {
-			return err
-		}
-		rv, ok := st.refs[id]
-		if !ok {
-			return errf("reference to undefined object %d", id)
-		}
-		if !rv.Type().AssignableTo(v.Type()) {
-			return errf("shared object %d has type %v, target wants %v", id, rv.Type(), v.Type())
-		}
-		v.Set(rv)
-		return nil
-	case tBinary:
-		data, err := d.readString(MaxStringLen)
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Struct || !v.CanAddr() {
-			return mismatch(tag, v)
-		}
-		bu, ok := v.Addr().Interface().(encoding.BinaryUnmarshaler)
-		if !ok {
-			return errf("stream has binary-marshaled value but %v has no UnmarshalBinary", v.Type())
-		}
-		if err := bu.UnmarshalBinary([]byte(data)); err != nil {
-			return errf("UnmarshalBinary into %v: %v", v.Type(), err)
-		}
-		return nil
+		return d.decodeRef(v)
 	case tIface:
-		name, err := d.readString(4096)
+		name, err := d.readName(4096)
 		if err != nil {
 			return err
 		}
-		rt, ok := lookupType(name)
+		rt, ok := lookupTypeBytes(name)
 		if !ok {
 			return errf("stream has unregistered concrete type %q; call pickle.Register", name)
 		}
-		cv := reflect.New(rt).Elem()
-		if err := d.decodeValue(st, cv, depth+1); err != nil {
+		if err := d.enter(); err != nil {
 			return err
 		}
-		if v.Kind() != reflect.Interface {
-			// Tolerate decoding an interface-pickled value into its
-			// concrete type.
-			if rt != v.Type() {
-				return errf("stream has %q but target is %v", name, v.Type())
-			}
-			v.Set(cv)
-			return nil
+		cv := reflect.New(rt).Elem()
+		tag2, err := d.readByte()
+		if err != nil {
+			return err
 		}
-		if !rt.AssignableTo(v.Type()) {
-			return errf("concrete type %q does not implement target interface %v", name, v.Type())
+		if err := decoderOf(rt)(d, cv, tag2); err != nil {
+			return err
+		}
+		d.depth--
+		if rt != v.Type() {
+			n, _ := lookupName(rt)
+			return errf("stream has %q but target is %v", n, v.Type())
 		}
 		v.Set(cv)
 		return nil
 	default:
-		return errf("invalid tag byte %#x", tag)
+		return mismatch(tag, v)
+	}
+}
+
+func (d *Decoder) decodeRef(v reflect.Value) error {
+	id, err := d.readUvarint()
+	if err != nil {
+		return err
+	}
+	rv, ok := d.refs[id]
+	if !ok {
+		return errf("reference to undefined object %d", id)
+	}
+	if !rv.Type().AssignableTo(v.Type()) {
+		return errf("shared object %d has type %v, target wants %v", id, rv.Type(), v.Type())
+	}
+	v.Set(rv)
+	return nil
+}
+
+func decBool(d *Decoder, v reflect.Value, tag byte) error {
+	switch tag {
+	case tFalse:
+		v.SetBool(false)
+		return nil
+	case tTrue:
+		v.SetBool(true)
+		return nil
+	default:
+		return d.tolerant(v, tag, decBool)
+	}
+}
+
+func decInt(d *Decoder, v reflect.Value, tag byte) error {
+	if tag != tInt {
+		return d.tolerant(v, tag, decInt)
+	}
+	i, err := d.readVarint()
+	if err != nil {
+		return err
+	}
+	if v.OverflowInt(i) {
+		return errf("value %d overflows %v", i, v.Type())
+	}
+	v.SetInt(i)
+	return nil
+}
+
+func decUint(d *Decoder, v reflect.Value, tag byte) error {
+	if tag != tUint {
+		return d.tolerant(v, tag, decUint)
+	}
+	u, err := d.readUvarint()
+	if err != nil {
+		return err
+	}
+	if v.OverflowUint(u) {
+		return errf("value %d overflows %v", u, v.Type())
+	}
+	v.SetUint(u)
+	return nil
+}
+
+func decFloat(d *Decoder, v reflect.Value, tag byte) error {
+	switch tag {
+	case tFloat32:
+		var b [4]byte
+		if err := d.readFull(b[:]); err != nil {
+			return err
+		}
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(b[:]))))
+		return nil
+	case tFloat64:
+		f, err := d.readFloat64()
+		if err != nil {
+			return err
+		}
+		if v.Kind() == reflect.Float32 && v.OverflowFloat(f) {
+			return errf("value %g overflows float32", f)
+		}
+		v.SetFloat(f)
+		return nil
+	default:
+		return d.tolerant(v, tag, decFloat)
+	}
+}
+
+func decComplex(d *Decoder, v reflect.Value, tag byte) error {
+	if tag != tComplex {
+		return d.tolerant(v, tag, decComplex)
+	}
+	re, err := d.readFloat64()
+	if err != nil {
+		return err
+	}
+	im, err := d.readFloat64()
+	if err != nil {
+		return err
+	}
+	v.SetComplex(complex(re, im))
+	return nil
+}
+
+func decString(d *Decoder, v reflect.Value, tag byte) error {
+	if tag != tString && tag != tBytes {
+		return d.tolerant(v, tag, decString)
+	}
+	s, err := d.readString(MaxStringLen)
+	if err != nil {
+		return err
+	}
+	v.SetString(s)
+	return nil
+}
+
+func buildBytesDecoder(rt reflect.Type) decFn {
+	elem := decoderOf(rt.Elem())
+	var self decFn
+	self = func(d *Decoder, v reflect.Value, tag byte) error {
+		switch tag {
+		case tNil:
+			v.Set(reflect.Zero(rt))
+			return nil
+		case tString, tBytes:
+			n, err := d.readUvarint()
+			if err != nil {
+				return err
+			}
+			if n > MaxStringLen {
+				return errf("string length %d exceeds limit %d", n, MaxStringLen)
+			}
+			b := make([]byte, n)
+			if err := d.readFull(b); err != nil {
+				return err
+			}
+			v.SetBytes(b)
+			return nil
+		case tSlice:
+			// A byte slice written element-wise by another encoder.
+			return decodeSliceElems(d, v, rt, elem)
+		default:
+			return d.tolerant(v, tag, self)
+		}
+	}
+	return self
+}
+
+func decodeSliceElems(d *Decoder, v reflect.Value, rt reflect.Type, elem decFn) error {
+	n, err := d.readUvarint()
+	if err != nil {
+		return err
+	}
+	if n > MaxElems {
+		return errf("slice length %d exceeds limit %d", n, MaxElems)
+	}
+	if err := d.enter(); err != nil {
+		return err
+	}
+	s := reflect.MakeSlice(rt, int(n), int(n))
+	for i := 0; i < int(n); i++ {
+		tag, err := d.readByte()
+		if err != nil {
+			return err
+		}
+		if err := elem(d, s.Index(i), tag); err != nil {
+			return err
+		}
+	}
+	d.depth--
+	v.Set(s)
+	return nil
+}
+
+func buildSliceDecoder(rt reflect.Type) decFn {
+	elem := decoderOf(rt.Elem())
+	var self decFn
+	self = func(d *Decoder, v reflect.Value, tag byte) error {
+		switch tag {
+		case tNil:
+			v.Set(reflect.Zero(rt))
+			return nil
+		case tSlice:
+			return decodeSliceElems(d, v, rt, elem)
+		default:
+			return d.tolerant(v, tag, self)
+		}
+	}
+	return self
+}
+
+func buildArrayDecoder(rt reflect.Type) decFn {
+	elem := decoderOf(rt.Elem())
+	n := rt.Len()
+	var self decFn
+	self = func(d *Decoder, v reflect.Value, tag byte) error {
+		if tag != tArray {
+			return d.tolerant(v, tag, self)
+		}
+		sn, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if int(sn) != n {
+			return errf("array length mismatch: stream %d, target %v", sn, rt)
+		}
+		if err := d.enter(); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			tag2, err := d.readByte()
+			if err != nil {
+				return err
+			}
+			if err := elem(d, v.Index(i), tag2); err != nil {
+				return err
+			}
+		}
+		d.depth--
+		return nil
+	}
+	return self
+}
+
+func buildMapDecoder(rt reflect.Type) decFn {
+	keyFn := decoderOf(rt.Key())
+	valFn := decoderOf(rt.Elem())
+	kt, vt := rt.Key(), rt.Elem()
+	var self decFn
+	self = func(d *Decoder, v reflect.Value, tag byte) error {
+		switch tag {
+		case tNil:
+			v.Set(reflect.Zero(rt))
+			return nil
+		case tMap:
+			id, err := d.readUvarint()
+			if err != nil {
+				return err
+			}
+			n, err := d.readUvarint()
+			if err != nil {
+				return err
+			}
+			if n > MaxElems {
+				return errf("map length %d exceeds limit %d", n, MaxElems)
+			}
+			if err := d.enter(); err != nil {
+				return err
+			}
+			m := reflect.MakeMapWithSize(rt, int(n))
+			v.Set(m)
+			d.setRef(id, m)
+			for i := 0; i < int(n); i++ {
+				// Fresh key/value buffers per entry: pointer-level
+				// tolerance may register their addresses in the
+				// identity table, so they must not be reused.
+				k := reflect.New(kt).Elem()
+				tag2, err := d.readByte()
+				if err != nil {
+					return err
+				}
+				if err := keyFn(d, k, tag2); err != nil {
+					return err
+				}
+				val := reflect.New(vt).Elem()
+				if tag2, err = d.readByte(); err != nil {
+					return err
+				}
+				if err := valFn(d, val, tag2); err != nil {
+					return err
+				}
+				m.SetMapIndex(k, val)
+			}
+			d.depth--
+			return nil
+		default:
+			return d.tolerant(v, tag, self)
+		}
+	}
+	return self
+}
+
+// structDecPlan is the compiled program for one struct type: the per-field
+// programs, the pickled-name table used to match stream fields, and whether
+// the type accepts binary-marshaled values.
+type structDecPlan struct {
+	rt        reflect.Type
+	byName    map[string]int
+	idx       []int // slot -> reflect field index
+	fns       []decFn
+	canBinary bool // *T implements encoding.BinaryUnmarshaler
+}
+
+var binaryUnmarshalerType = reflect.TypeOf((*encoding.BinaryUnmarshaler)(nil)).Elem()
+
+func buildStructDecoder(rt reflect.Type) decFn {
+	p := &structDecPlan{
+		rt:        rt,
+		byName:    make(map[string]int),
+		canBinary: reflect.PointerTo(rt).Implements(binaryUnmarshalerType),
+	}
+	for _, f := range fieldsOf(rt) {
+		p.byName[f.name] = len(p.idx)
+		p.idx = append(p.idx, f.index)
+		p.fns = append(p.fns, decoderOf(rt.Field(f.index).Type))
+	}
+	var self decFn
+	self = func(d *Decoder, v reflect.Value, tag byte) error {
+		switch tag {
+		case tStruct:
+			st, err := d.readStructType()
+			if err != nil {
+				return err
+			}
+			if err := d.enter(); err != nil {
+				return err
+			}
+			for _, slot := range st.matchFor(p) {
+				tag2, err := d.readByte()
+				if err != nil {
+					return err
+				}
+				if slot >= 0 {
+					err = p.fns[slot](d, v.Field(p.idx[slot]), tag2)
+				} else {
+					err = d.skipTagged(tag2)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			d.depth--
+			return nil
+		case tBinary:
+			data, err := d.readString(MaxStringLen)
+			if err != nil {
+				return err
+			}
+			if !v.CanAddr() {
+				return mismatch(tag, v)
+			}
+			if !p.canBinary {
+				return errf("stream has binary-marshaled value but %v has no UnmarshalBinary", rt)
+			}
+			bu := v.Addr().Interface().(encoding.BinaryUnmarshaler)
+			if err := bu.UnmarshalBinary([]byte(data)); err != nil {
+				return errf("UnmarshalBinary into %v: %v", rt, err)
+			}
+			return nil
+		default:
+			return d.tolerant(v, tag, self)
+		}
+	}
+	return self
+}
+
+func buildPointerDecoder(rt reflect.Type) decFn {
+	elem := decoderOf(rt.Elem())
+	et := rt.Elem()
+	var self decFn
+	self = func(d *Decoder, v reflect.Value, tag byte) error {
+		switch tag {
+		case tNil:
+			v.Set(reflect.Zero(rt))
+			return nil
+		case tPtr:
+			id, err := d.readUvarint()
+			if err != nil {
+				return err
+			}
+			np := reflect.New(et)
+			v.Set(np)
+			d.setRef(id, np)
+			if err := d.enter(); err != nil {
+				return err
+			}
+			tag2, err := d.readByte()
+			if err != nil {
+				return err
+			}
+			err = elem(d, np.Elem(), tag2)
+			d.depth--
+			return err
+		case tRef:
+			return d.decodeRef(v)
+		default:
+			// Pointer-level tolerance: a non-pointer stream value decodes
+			// into a pointer target by allocating.
+			np := reflect.New(et)
+			v.Set(np)
+			return elem(d, np.Elem(), tag)
+		}
+	}
+	return self
+}
+
+func decIface(d *Decoder, v reflect.Value, tag byte) error {
+	switch tag {
+	case tNil:
+		v.Set(reflect.Zero(v.Type()))
+		return nil
+	case tIface:
+		name, err := d.readName(4096)
+		if err != nil {
+			return err
+		}
+		rt, ok := lookupTypeBytes(name)
+		if !ok {
+			return errf("stream has unregistered concrete type %q; call pickle.Register", name)
+		}
+		if err := d.enter(); err != nil {
+			return err
+		}
+		cv := reflect.New(rt).Elem()
+		tag2, err := d.readByte()
+		if err != nil {
+			return err
+		}
+		if err := decoderOf(rt)(d, cv, tag2); err != nil {
+			return err
+		}
+		d.depth--
+		if !rt.AssignableTo(v.Type()) {
+			n, _ := lookupName(rt)
+			return errf("concrete type %q does not implement target interface %v", n, v.Type())
+		}
+		v.Set(cv)
+		return nil
+	default:
+		return d.tolerant(v, tag, decIface)
 	}
 }
 
@@ -435,45 +848,110 @@ func (d *Decoder) readStructType() (*streamType, error) {
 	}
 	switch {
 	case id < uint64(len(d.types)):
-		return &d.types[id], nil
+		return d.types[id], nil
 	case id == uint64(len(d.types)):
-		name, err := d.readString(4096)
+		st, err := d.readStructTypeDef()
 		if err != nil {
 			return nil, err
 		}
-		nf, err := d.readUvarint()
-		if err != nil {
-			return nil, err
-		}
-		if nf > 1<<16 {
-			return nil, errf("struct %s claims %d fields", name, nf)
-		}
-		fields := make([]string, nf)
-		for i := range fields {
-			fields[i], err = d.readString(4096)
-			if err != nil {
-				return nil, err
-			}
-		}
-		d.types = append(d.types, streamType{name: name, fields: fields})
-		return &d.types[len(d.types)-1], nil
+		d.types = append(d.types, st)
+		return st, nil
 	default:
 		return nil, errf("struct type id %d out of order (have %d)", id, len(d.types))
 	}
 }
 
-// fieldIndexCache maps a target struct type to its pickled-name -> field
-// index table.
-var fieldIndexCache sync.Map // reflect.Type -> map[string]int
+func (d *Decoder) readStructTypeDef() (*streamType, error) {
+	var start int
+	if d.r == nil {
+		// Byte-slice path: scan the definition first so an
+		// already-interned type is found without allocating.
+		start = d.pos
+		if err := d.skipStructTypeDef(); err != nil {
+			return nil, err
+		}
+		raw := d.data[start:d.pos]
+		typeIntern.RLock()
+		st := typeIntern.m[string(raw)]
+		typeIntern.RUnlock()
+		if st != nil {
+			return st, nil
+		}
+		d.pos = start
+	}
+	name, err := d.readString(4096)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := d.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nf > 1<<16 {
+		return nil, errf("struct %s claims %d fields", name, nf)
+	}
+	fields := make([]string, nf)
+	for i := range fields {
+		fields[i], err = d.readString(4096)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st := &streamType{name: name, fields: fields}
+	if d.r == nil {
+		raw := d.data[start:d.pos]
+		typeIntern.Lock()
+		if prev := typeIntern.m[string(raw)]; prev != nil {
+			st = prev
+		} else {
+			if typeIntern.m == nil {
+				typeIntern.m = make(map[string]*streamType)
+			}
+			typeIntern.m[string(raw)] = st
+		}
+		typeIntern.Unlock()
+	}
+	return st, nil
+}
 
-func fieldIndex(rt reflect.Type) map[string]int {
-	if m, ok := fieldIndexCache.Load(rt); ok {
-		return m.(map[string]int)
+// skipStructTypeDef advances past an inline struct definition, validating
+// the same limits readStructTypeDef enforces.
+func (d *Decoder) skipStructTypeDef() error {
+	skipStr := func(limit uint64) error {
+		n, err := d.readUvarint()
+		if err != nil {
+			return err
+		}
+		if n > limit {
+			return errf("string length %d exceeds limit %d", n, limit)
+		}
+		if uint64(len(d.data)-d.pos) < n {
+			return errf("truncated stream")
+		}
+		d.pos += int(n)
+		return nil
 	}
-	m := make(map[string]int)
-	for _, f := range fieldsOf(rt) {
-		m[f.name] = f.index
+	if err := skipStr(4096); err != nil {
+		return err
 	}
-	fieldIndexCache.Store(rt, m)
-	return m
+	nf, err := d.readUvarint()
+	if err != nil {
+		return err
+	}
+	if nf > 1<<16 {
+		return errf("struct claims %d fields", nf)
+	}
+	for i := uint64(0); i < nf; i++ {
+		if err := skipStr(4096); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lookupTypeBytes(name []byte) (reflect.Type, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	t, ok := nameToType[string(name)]
+	return t, ok
 }

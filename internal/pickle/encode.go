@@ -10,15 +10,31 @@ import (
 	"sync"
 )
 
+// The encoder is organized around compiled codec plans: on the first
+// encounter of a Go type, a per-type encode program — a tree of small
+// closures with every reflect.Kind decision, field table and type
+// definition resolved ahead of time — is compiled and cached in a
+// package-wide sync.Map. Steady-state encoding therefore walks no
+// reflection trees: each value dispatches straight into its type's program,
+// which appends bytes to a grow-only buffer. Marshal and AppendMarshal run
+// on pooled Encoders, so pickling a registered update in the store's commit
+// path costs near-zero allocations.
+
 // An Encoder pickles values onto an output stream. Struct type definitions
 // are emitted once per Encoder; pointer/map identity is tracked per Encode
 // call, so each Encode produces an independently decodable value graph.
 type Encoder struct {
 	w        io.Writer
-	scratch  [binary.MaxVarintLen64]byte
-	types    map[reflect.Type]uint64 // struct type -> stream type id
+	buf      []byte // output accumulates here; flushed to w per Encode
+	types    map[reflect.Type]uint64
 	wroteHdr bool
-	err      error // first write error; sticky
+	err      error // first error; sticky
+
+	// Per-Encode-call state: the identity table for shared pointers and
+	// maps, and the recursion depth.
+	refs    map[uintptr]uint64
+	nextRef uint64
+	depth   int
 }
 
 // NewEncoder returns an Encoder writing to w.
@@ -34,24 +50,22 @@ func (e *Encoder) Encode(v any) error {
 		return e.err
 	}
 	if !e.wroteHdr {
-		e.writeByte(magic)
+		e.buf = append(e.buf, magic)
 		e.wroteHdr = true
 	}
-	st := &encState{refs: make(map[uintptr]uint64)}
+	if len(e.refs) > 0 {
+		clear(e.refs)
+	}
+	e.nextRef = 0
+	e.depth = 0
 	rv := reflect.ValueOf(v)
 	if !rv.IsValid() {
-		e.writeByte(tNil)
-		return e.err
+		e.buf = append(e.buf, tNil)
+	} else {
+		encoderOf(rv.Type())(e, rv)
 	}
-	e.encodeValue(st, rv, 0)
+	e.flush()
 	return e.err
-}
-
-// encState is per-Encode-call state: the identity table for shared pointers
-// and maps.
-type encState struct {
-	refs    map[uintptr]uint64
-	nextRef uint64
 }
 
 func (e *Encoder) fail(err error) {
@@ -60,40 +74,56 @@ func (e *Encoder) fail(err error) {
 	}
 }
 
-func (e *Encoder) write(p []byte) {
-	if e.err != nil {
+// enter counts one level of value nesting, failing the encode when the
+// value recurses past MaxDepth (a structure with unbounded recursion that
+// never passes through a pointer or map, whose identity table would have
+// caught the cycle).
+func (e *Encoder) enter() bool {
+	e.depth++
+	if e.depth > MaxDepth {
+		e.fail(errf("value exceeds maximum depth %d (unbounded recursion without pointers?)", MaxDepth))
+		return false
+	}
+	return true
+}
+
+// ref assigns the next identity-table id to the pointer or map at p.
+func (e *Encoder) ref(p uintptr) uint64 {
+	if e.refs == nil {
+		e.refs = make(map[uintptr]uint64)
+	}
+	id := e.nextRef
+	e.nextRef++
+	e.refs[p] = id
+	return id
+}
+
+// flush drains the accumulated buffer to the underlying writer. A
+// buffer-only encoder (Marshal, AppendMarshal) has no writer and never
+// flushes.
+func (e *Encoder) flush() {
+	if e.w == nil || len(e.buf) == 0 {
 		return
 	}
-	if _, err := e.w.Write(p); err != nil {
-		e.err = err
-	}
-}
-
-func (e *Encoder) writeByte(b byte) {
-	e.scratch[0] = b
-	e.write(e.scratch[:1])
-}
-
-func (e *Encoder) writeUvarint(u uint64) {
-	n := binary.PutUvarint(e.scratch[:], u)
-	e.write(e.scratch[:n])
-}
-
-func (e *Encoder) writeVarint(i int64) {
-	n := binary.PutVarint(e.scratch[:], i)
-	e.write(e.scratch[:n])
-}
-
-func (e *Encoder) writeString(s string) {
-	e.writeUvarint(uint64(len(s)))
 	if e.err == nil {
-		io.WriteString(e.w, s)
+		if _, err := e.w.Write(e.buf); err != nil {
+			e.err = err
+		}
+	}
+	e.buf = e.buf[:0]
+}
+
+// maybeFlush bounds the buffer while streaming a large value (a whole
+// database root during a checkpoint) through an io.Writer.
+func (e *Encoder) maybeFlush() {
+	if e.w != nil && len(e.buf) >= 1<<15 {
+		e.flush()
 	}
 }
 
-func (e *Encoder) writeFloat64(f float64) {
-	binary.LittleEndian.PutUint64(e.scratch[:8], math.Float64bits(f))
-	e.write(e.scratch[:8])
+func appendLenPrefixed(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
 }
 
 var binaryMarshalerType = reflect.TypeOf((*encoding.BinaryMarshaler)(nil)).Elem()
@@ -116,142 +146,278 @@ func usesBinaryMarshaling(rt reflect.Type) bool {
 	return uses
 }
 
-func (e *Encoder) encodeValue(st *encState, v reflect.Value, depth int) {
-	if e.err != nil {
+// An encFn is one compiled encode program: it appends the pickled form of a
+// value of one fixed static type to e.buf.
+type encFn func(e *Encoder, v reflect.Value)
+
+// encPlans caches the compiled per-type encode programs.
+var encPlans sync.Map // reflect.Type -> encFn
+
+// encoderOf returns rt's compiled encode program, compiling it on first
+// use.
+func encoderOf(rt reflect.Type) encFn {
+	if f, ok := encPlans.Load(rt); ok {
+		return f.(encFn)
+	}
+	// Publish a forwarding stub before compiling so that compiling a type
+	// that (indirectly) contains itself terminates: the inner reference
+	// resolves to the stub, which waits for the real program.
+	var (
+		wg sync.WaitGroup
+		fn encFn
+	)
+	wg.Add(1)
+	stub := encFn(func(e *Encoder, v reflect.Value) {
+		wg.Wait()
+		fn(e, v)
+	})
+	if actual, loaded := encPlans.LoadOrStore(rt, stub); loaded {
+		return actual.(encFn)
+	}
+	fn = buildEncoder(rt)
+	wg.Done()
+	encPlans.Store(rt, fn)
+	codec.encPlanCompiles.Add(1)
+	return fn
+}
+
+// buildEncoder compiles the encode program for rt, resolving every kind
+// decision now so the returned program makes none per value.
+func buildEncoder(rt reflect.Type) encFn {
+	if rt.Kind() == reflect.Struct && usesBinaryMarshaling(rt) {
+		return encBinaryMarshaler
+	}
+	switch rt.Kind() {
+	case reflect.Bool:
+		return encBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return encInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return encUint
+	case reflect.Float32:
+		return encFloat32
+	case reflect.Float64:
+		return encFloat64
+	case reflect.Complex64, reflect.Complex128:
+		return encComplex
+	case reflect.String:
+		return encString
+	case reflect.Slice:
+		return buildSliceEncoder(rt)
+	case reflect.Array:
+		return buildArrayEncoder(rt)
+	case reflect.Map:
+		return buildMapEncoder(rt)
+	case reflect.Struct:
+		return buildStructEncoder(rt)
+	case reflect.Pointer:
+		return buildPointerEncoder(rt)
+	case reflect.Interface:
+		return encInterface
+	default:
+		return func(e *Encoder, v reflect.Value) {
+			e.fail(errf("cannot pickle value of kind %v (%v)", rt.Kind(), rt))
+		}
+	}
+}
+
+func encBool(e *Encoder, v reflect.Value) {
+	if v.Bool() {
+		e.buf = append(e.buf, tTrue)
+	} else {
+		e.buf = append(e.buf, tFalse)
+	}
+}
+
+func encInt(e *Encoder, v reflect.Value) {
+	e.buf = append(e.buf, tInt)
+	e.buf = binary.AppendVarint(e.buf, v.Int())
+}
+
+func encUint(e *Encoder, v reflect.Value) {
+	e.buf = append(e.buf, tUint)
+	e.buf = binary.AppendUvarint(e.buf, v.Uint())
+}
+
+func encFloat32(e *Encoder, v reflect.Value) {
+	e.buf = append(e.buf, tFloat32)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(float32(v.Float())))
+}
+
+func encFloat64(e *Encoder, v reflect.Value) {
+	e.buf = append(e.buf, tFloat64)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v.Float()))
+}
+
+func encComplex(e *Encoder, v reflect.Value) {
+	c := v.Complex()
+	e.buf = append(e.buf, tComplex)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(real(c)))
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(imag(c)))
+}
+
+func encString(e *Encoder, v reflect.Value) {
+	e.buf = append(e.buf, tString)
+	e.buf = appendLenPrefixed(e.buf, v.String())
+	e.maybeFlush()
+}
+
+func encBytes(e *Encoder, v reflect.Value) {
+	if v.IsNil() {
+		e.buf = append(e.buf, tNil)
 		return
 	}
-	if depth > MaxDepth {
-		e.fail(errf("value exceeds maximum depth %d (unbounded recursion without pointers?)", MaxDepth))
+	b := v.Bytes()
+	e.buf = append(e.buf, tBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(b)))
+	e.buf = append(e.buf, b...)
+	e.maybeFlush()
+}
+
+func encBinaryMarshaler(e *Encoder, v reflect.Value) {
+	bm := v.Interface().(encoding.BinaryMarshaler)
+	data, err := bm.MarshalBinary()
+	if err != nil {
+		e.fail(errf("MarshalBinary of %v: %v", v.Type(), err))
 		return
 	}
-	if v.Kind() == reflect.Struct && usesBinaryMarshaling(v.Type()) {
-		bm := v.Interface().(encoding.BinaryMarshaler)
-		data, err := bm.MarshalBinary()
-		if err != nil {
-			e.fail(errf("MarshalBinary of %v: %v", v.Type(), err))
+	e.buf = append(e.buf, tBinary)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(data)))
+	e.buf = append(e.buf, data...)
+	e.maybeFlush()
+}
+
+func buildSliceEncoder(rt reflect.Type) encFn {
+	if rt.Elem().Kind() == reflect.Uint8 {
+		return encBytes
+	}
+	elem := encoderOf(rt.Elem())
+	return func(e *Encoder, v reflect.Value) {
+		if v.IsNil() {
+			e.buf = append(e.buf, tNil)
 			return
 		}
-		e.writeByte(tBinary)
-		e.writeUvarint(uint64(len(data)))
-		e.write(data)
-		return
-	}
-	switch v.Kind() {
-	case reflect.Bool:
-		if v.Bool() {
-			e.writeByte(tTrue)
-		} else {
-			e.writeByte(tFalse)
+		if !e.enter() {
+			return
 		}
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		e.writeByte(tInt)
-		e.writeVarint(v.Int())
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		e.writeByte(tUint)
-		e.writeUvarint(v.Uint())
-	case reflect.Float32:
-		e.writeByte(tFloat32)
-		binary.LittleEndian.PutUint32(e.scratch[:4], math.Float32bits(float32(v.Float())))
-		e.write(e.scratch[:4])
-	case reflect.Float64:
-		e.writeByte(tFloat64)
-		e.writeFloat64(v.Float())
-	case reflect.Complex64, reflect.Complex128:
-		e.writeByte(tComplex)
-		c := v.Complex()
-		e.writeFloat64(real(c))
-		e.writeFloat64(imag(c))
-	case reflect.String:
-		e.writeByte(tString)
-		e.writeString(v.String())
-	case reflect.Slice:
-		e.encodeSlice(st, v, depth)
-	case reflect.Array:
-		e.writeByte(tArray)
-		e.writeUvarint(uint64(v.Len()))
-		for i := 0; i < v.Len(); i++ {
-			e.encodeValue(st, v.Index(i), depth+1)
+		n := v.Len()
+		e.buf = append(e.buf, tSlice)
+		e.buf = binary.AppendUvarint(e.buf, uint64(n))
+		for i := 0; i < n && e.err == nil; i++ {
+			elem(e, v.Index(i))
+			e.maybeFlush()
 		}
-	case reflect.Map:
-		e.encodeMap(st, v, depth)
-	case reflect.Struct:
-		e.encodeStruct(st, v, depth)
-	case reflect.Pointer:
-		e.encodePointer(st, v, depth)
-	case reflect.Interface:
-		e.encodeInterface(st, v, depth)
-	default:
-		e.fail(errf("cannot pickle value of kind %v (%v)", v.Kind(), v.Type()))
+		e.depth--
 	}
 }
 
-func (e *Encoder) encodeSlice(st *encState, v reflect.Value, depth int) {
-	if v.IsNil() {
-		e.writeByte(tNil)
-		return
-	}
-	if v.Type().Elem().Kind() == reflect.Uint8 {
-		e.writeByte(tBytes)
-		b := v.Bytes()
-		e.writeUvarint(uint64(len(b)))
-		e.write(b)
-		return
-	}
-	e.writeByte(tSlice)
-	e.writeUvarint(uint64(v.Len()))
-	for i := 0; i < v.Len(); i++ {
-		e.encodeValue(st, v.Index(i), depth+1)
+func buildArrayEncoder(rt reflect.Type) encFn {
+	elem := encoderOf(rt.Elem())
+	n := rt.Len()
+	return func(e *Encoder, v reflect.Value) {
+		if !e.enter() {
+			return
+		}
+		e.buf = append(e.buf, tArray)
+		e.buf = binary.AppendUvarint(e.buf, uint64(n))
+		for i := 0; i < n && e.err == nil; i++ {
+			elem(e, v.Index(i))
+			e.maybeFlush()
+		}
+		e.depth--
 	}
 }
 
-func (e *Encoder) encodeMap(st *encState, v reflect.Value, depth int) {
-	if v.IsNil() {
-		e.writeByte(tNil)
-		return
+func buildMapEncoder(rt reflect.Type) encFn {
+	if rt.Key().Kind() == reflect.String {
+		return buildStringMapEncoder(rt)
 	}
-	if id, ok := st.refs[v.Pointer()]; ok {
-		e.writeByte(tRef)
-		e.writeUvarint(id)
-		return
-	}
-	id := st.nextRef
-	st.nextRef++
-	st.refs[v.Pointer()] = id
-	e.writeByte(tMap)
-	e.writeUvarint(id)
-	e.writeUvarint(uint64(v.Len()))
-	// Deterministic output for primitive-keyed maps: sort the keys by
-	// value so the same logical map always pickles to the same bytes,
-	// making checkpoints reproducible and diffable. Maps with composite
-	// keys are emitted in iteration order; their decode is unaffected.
-	keys := v.MapKeys()
-	sortKeys(keys)
-	for _, k := range keys {
-		e.encodeValue(st, k, depth+1)
-		e.encodeValue(st, v.MapIndex(k), depth+1)
+	keyFn := encoderOf(rt.Key())
+	valFn := encoderOf(rt.Elem())
+	cmp := keyComparer(rt.Key())
+	return func(e *Encoder, v reflect.Value) {
+		if v.IsNil() {
+			e.buf = append(e.buf, tNil)
+			return
+		}
+		if id, ok := e.refs[v.Pointer()]; ok {
+			e.buf = append(e.buf, tRef)
+			e.buf = binary.AppendUvarint(e.buf, id)
+			return
+		}
+		if !e.enter() {
+			return
+		}
+		id := e.ref(v.Pointer())
+		e.buf = append(e.buf, tMap)
+		e.buf = binary.AppendUvarint(e.buf, id)
+		e.buf = binary.AppendUvarint(e.buf, uint64(v.Len()))
+		// Deterministic output for maps whose key type has a compiled
+		// comparer: sort the keys so the same logical map always pickles
+		// to the same bytes, making checkpoints reproducible and
+		// diffable. Maps with keys the comparer cannot order (pointers,
+		// interfaces) are emitted in iteration order; decode is
+		// unaffected.
+		keys := v.MapKeys()
+		if cmp != nil {
+			sort.Slice(keys, func(i, j int) bool { return cmp(keys[i], keys[j]) < 0 })
+		}
+		for _, k := range keys {
+			if e.err != nil {
+				break
+			}
+			keyFn(e, k)
+			valFn(e, v.MapIndex(k))
+			e.maybeFlush()
+		}
+		e.depth--
 	}
 }
 
-func sortKeys(keys []reflect.Value) {
-	if len(keys) == 0 {
-		return
+// buildStringMapEncoder is the compiled program for the dominant map shape,
+// string-keyed maps (directories, tables): keys are extracted once through a
+// reused iteration buffer and sorted as a plain []string, avoiding the
+// reflect.Value swap cost that dominates sorting large maps generically.
+func buildStringMapEncoder(rt reflect.Type) encFn {
+	valFn := encoderOf(rt.Elem())
+	kt := rt.Key()
+	return func(e *Encoder, v reflect.Value) {
+		if v.IsNil() {
+			e.buf = append(e.buf, tNil)
+			return
+		}
+		if id, ok := e.refs[v.Pointer()]; ok {
+			e.buf = append(e.buf, tRef)
+			e.buf = binary.AppendUvarint(e.buf, id)
+			return
+		}
+		if !e.enter() {
+			return
+		}
+		id := e.ref(v.Pointer())
+		n := v.Len()
+		e.buf = append(e.buf, tMap)
+		e.buf = binary.AppendUvarint(e.buf, id)
+		e.buf = binary.AppendUvarint(e.buf, uint64(n))
+		ks := make([]string, 0, n)
+		kbuf := reflect.New(kt).Elem()
+		for iter := v.MapRange(); iter.Next(); {
+			kbuf.SetIterKey(iter)
+			ks = append(ks, kbuf.String())
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			if e.err != nil {
+				break
+			}
+			e.buf = append(e.buf, tString)
+			e.buf = appendLenPrefixed(e.buf, k)
+			kbuf.SetString(k)
+			valFn(e, v.MapIndex(kbuf))
+			e.maybeFlush()
+		}
+		e.depth--
 	}
-	var less func(a, b reflect.Value) bool
-	switch keys[0].Kind() {
-	case reflect.String:
-		less = func(a, b reflect.Value) bool { return a.String() < b.String() }
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		less = func(a, b reflect.Value) bool { return a.Int() < b.Int() }
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		less = func(a, b reflect.Value) bool { return a.Uint() < b.Uint() }
-	case reflect.Float32, reflect.Float64:
-		less = func(a, b reflect.Value) bool { return a.Float() < b.Float() }
-	case reflect.Bool:
-		less = func(a, b reflect.Value) bool { return !a.Bool() && b.Bool() }
-	default:
-		return
-	}
-	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
 }
 
 // structFields caches, per struct type, the exported fields we pickle.
@@ -285,52 +451,81 @@ func fieldsOf(rt reflect.Type) []fieldInfo {
 	return fields
 }
 
-func (e *Encoder) encodeStruct(st *encState, v reflect.Value, depth int) {
-	rt := v.Type()
+// structEncPlan is the compiled program for one struct type: the field
+// programs in pickle order and the type's inline stream definition,
+// pre-encoded so its first use per Encoder is a single append.
+type structEncPlan struct {
+	rt      reflect.Type
+	typedef []byte // name, field count, field names — wire-ready
+	idx     []int  // reflect field indices, parallel to fns
+	fns     []encFn
+}
+
+func buildStructEncoder(rt reflect.Type) encFn {
 	fields := fieldsOf(rt)
-	e.writeByte(tStruct)
-	id, known := e.types[rt]
-	if !known {
-		id = uint64(len(e.types))
-		e.types[rt] = id
-		e.writeUvarint(id)
-		// Inline definition, emitted exactly once per Encoder at the
-		// first use of the type: name, field count, field names.
-		name := rt.String()
-		e.writeString(name)
-		e.writeUvarint(uint64(len(fields)))
-		for _, f := range fields {
-			e.writeString(f.name)
-		}
-	} else {
-		e.writeUvarint(id)
-	}
+	p := &structEncPlan{rt: rt}
+	p.typedef = appendLenPrefixed(p.typedef, rt.String())
+	p.typedef = binary.AppendUvarint(p.typedef, uint64(len(fields)))
 	for _, f := range fields {
-		e.encodeValue(st, v.Field(f.index), depth+1)
+		p.typedef = appendLenPrefixed(p.typedef, f.name)
+		p.idx = append(p.idx, f.index)
+		p.fns = append(p.fns, encoderOf(rt.Field(f.index).Type))
+	}
+	return p.encode
+}
+
+func (p *structEncPlan) encode(e *Encoder, v reflect.Value) {
+	if !e.enter() {
+		return
+	}
+	e.buf = append(e.buf, tStruct)
+	id, known := e.types[p.rt]
+	if !known {
+		// Inline definition, emitted exactly once per Encoder at the
+		// first use of the type.
+		id = uint64(len(e.types))
+		e.types[p.rt] = id
+		e.buf = binary.AppendUvarint(e.buf, id)
+		e.buf = append(e.buf, p.typedef...)
+	} else {
+		e.buf = binary.AppendUvarint(e.buf, id)
+	}
+	for i, fn := range p.fns {
+		if e.err != nil {
+			break
+		}
+		fn(e, v.Field(p.idx[i]))
+		e.maybeFlush()
+	}
+	e.depth--
+}
+
+func buildPointerEncoder(rt reflect.Type) encFn {
+	elem := encoderOf(rt.Elem())
+	return func(e *Encoder, v reflect.Value) {
+		if v.IsNil() {
+			e.buf = append(e.buf, tNil)
+			return
+		}
+		if id, ok := e.refs[v.Pointer()]; ok {
+			e.buf = append(e.buf, tRef)
+			e.buf = binary.AppendUvarint(e.buf, id)
+			return
+		}
+		if !e.enter() {
+			return
+		}
+		id := e.ref(v.Pointer())
+		e.buf = append(e.buf, tPtr)
+		e.buf = binary.AppendUvarint(e.buf, id)
+		elem(e, v.Elem())
+		e.depth--
 	}
 }
 
-func (e *Encoder) encodePointer(st *encState, v reflect.Value, depth int) {
+func encInterface(e *Encoder, v reflect.Value) {
 	if v.IsNil() {
-		e.writeByte(tNil)
-		return
-	}
-	if id, ok := st.refs[v.Pointer()]; ok {
-		e.writeByte(tRef)
-		e.writeUvarint(id)
-		return
-	}
-	id := st.nextRef
-	st.nextRef++
-	st.refs[v.Pointer()] = id
-	e.writeByte(tPtr)
-	e.writeUvarint(id)
-	e.encodeValue(st, v.Elem(), depth+1)
-}
-
-func (e *Encoder) encodeInterface(st *encState, v reflect.Value, depth int) {
-	if v.IsNil() {
-		e.writeByte(tNil)
+		e.buf = append(e.buf, tNil)
 		return
 	}
 	elem := v.Elem()
@@ -339,7 +534,11 @@ func (e *Encoder) encodeInterface(st *encState, v reflect.Value, depth int) {
 		e.fail(errf("interface holds unregistered concrete type %v; call pickle.Register", elem.Type()))
 		return
 	}
-	e.writeByte(tIface)
-	e.writeString(name)
-	e.encodeValue(st, elem, depth+1)
+	if !e.enter() {
+		return
+	}
+	e.buf = append(e.buf, tIface)
+	e.buf = appendLenPrefixed(e.buf, name)
+	encoderOf(elem.Type())(e, elem)
+	e.depth--
 }

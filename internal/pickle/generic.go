@@ -51,24 +51,30 @@ func (d *Decoder) DecodeAny() (any, error) {
 	if err := d.header(); err != nil {
 		return nil, err
 	}
-	st := &decState{refs: make(map[uint64]reflect.Value)}
-	return d.decodeAny(st, 0)
+	if len(d.refs) > 0 {
+		clear(d.refs)
+	}
+	d.depth = 0
+	return d.decodeAny()
 }
 
-// skipValue consumes one value from the stream, discarding it.
-func (d *Decoder) skipValue(st *decState, depth int) error {
-	_, err := d.decodeAny(st, depth)
+// skipTagged consumes the value whose tag byte has already been read,
+// discarding it. It shares the Decoder's identity table so that shared
+// objects defined inside skipped fields still resolve from kept fields.
+func (d *Decoder) skipTagged(tag byte) error {
+	_, err := d.decodeAnyTagged(tag)
 	return err
 }
 
-func (d *Decoder) decodeAny(st *decState, depth int) (any, error) {
-	if depth > MaxDepth {
-		return nil, errf("stream exceeds maximum depth %d", MaxDepth)
-	}
+func (d *Decoder) decodeAny() (any, error) {
 	tag, err := d.readByte()
 	if err != nil {
 		return nil, err
 	}
+	return d.decodeAnyTagged(tag)
+}
+
+func (d *Decoder) decodeAnyTagged(tag byte) (any, error) {
 	switch tag {
 	case tNil:
 		return nil, nil
@@ -114,12 +120,16 @@ func (d *Decoder) decodeAny(st *decState, depth int) (any, error) {
 		if n > MaxElems {
 			return nil, errf("slice length %d exceeds limit %d", n, MaxElems)
 		}
+		if err := d.enter(); err != nil {
+			return nil, err
+		}
 		out := make([]any, n)
 		for i := range out {
-			if out[i], err = d.decodeAny(st, depth+1); err != nil {
+			if out[i], err = d.decodeAny(); err != nil {
 				return nil, err
 			}
 		}
+		d.depth--
 		return out, nil
 	case tMap:
 		id, err := d.readUvarint()
@@ -133,20 +143,24 @@ func (d *Decoder) decodeAny(st *decState, depth int) (any, error) {
 		if n > MaxElems {
 			return nil, errf("map length %d exceeds limit %d", n, MaxElems)
 		}
+		if err := d.enter(); err != nil {
+			return nil, err
+		}
 		hole := new(any)
-		st.refs[id] = reflect.ValueOf(hole)
+		d.setRef(id, reflect.ValueOf(hole))
 		m := make(GenericMap, 0, n)
 		for i := uint64(0); i < n; i++ {
-			k, err := d.decodeAny(st, depth+1)
+			k, err := d.decodeAny()
 			if err != nil {
 				return nil, err
 			}
-			v, err := d.decodeAny(st, depth+1)
+			v, err := d.decodeAny()
 			if err != nil {
 				return nil, err
 			}
 			m = append(m, GenericKV{Key: k, Value: v})
 		}
+		d.depth--
 		*hole = m
 		return m, nil
 	case tStruct:
@@ -154,26 +168,34 @@ func (d *Decoder) decodeAny(st *decState, depth int) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := d.enter(); err != nil {
+			return nil, err
+		}
 		gs := GenericStruct{Name: stype.name, Fields: make([]GenericField, len(stype.fields))}
 		for i, fname := range stype.fields {
-			v, err := d.decodeAny(st, depth+1)
+			v, err := d.decodeAny()
 			if err != nil {
 				return nil, err
 			}
 			gs.Fields[i] = GenericField{Name: fname, Value: v}
 		}
+		d.depth--
 		return gs, nil
 	case tPtr:
 		id, err := d.readUvarint()
 		if err != nil {
 			return nil, err
 		}
+		if err := d.enter(); err != nil {
+			return nil, err
+		}
 		hole := new(any)
-		st.refs[id] = reflect.ValueOf(hole)
-		v, err := d.decodeAny(st, depth+1)
+		d.setRef(id, reflect.ValueOf(hole))
+		v, err := d.decodeAny()
 		if err != nil {
 			return nil, err
 		}
+		d.depth--
 		*hole = v
 		return hole, nil
 	case tRef:
@@ -181,7 +203,7 @@ func (d *Decoder) decodeAny(st *decState, depth int) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		rv, ok := st.refs[id]
+		rv, ok := d.refs[id]
 		if !ok {
 			return nil, errf("reference to undefined object %d", id)
 		}
@@ -191,10 +213,14 @@ func (d *Decoder) decodeAny(st *decState, depth int) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := d.decodeAny(st, depth+1)
+		if err := d.enter(); err != nil {
+			return nil, err
+		}
+		v, err := d.decodeAny()
 		if err != nil {
 			return nil, err
 		}
+		d.depth--
 		return GenericIface{TypeName: name, Value: v}, nil
 	default:
 		return nil, errf("invalid tag byte %#x", tag)

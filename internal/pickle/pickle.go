@@ -30,7 +30,6 @@
 package pickle
 
 import (
-	"bytes"
 	"fmt"
 	"io"
 	"reflect"
@@ -141,19 +140,91 @@ func canonicalName(rt reflect.Type) string {
 	return star + rt.PkgPath() + "." + rt.Name()
 }
 
+// Marshal and Unmarshal run on pooled codec state: the Encoder (with its
+// grow-only output buffer and type table) and the Decoder are recycled
+// across calls, and oversized buffers are dropped rather than pinned in the
+// pool.
+const maxPooledBuf = 1 << 20
+
+var encoderPool = sync.Pool{New: func() any {
+	codec.encPoolMisses.Add(1)
+	return &Encoder{types: make(map[reflect.Type]uint64)}
+}}
+
+var decoderPool = sync.Pool{New: func() any {
+	codec.decPoolMisses.Add(1)
+	return new(Decoder)
+}}
+
+func getEncoder() *Encoder {
+	codec.encPoolGets.Add(1)
+	return encoderPool.Get().(*Encoder)
+}
+
+func putEncoder(e *Encoder) {
+	if cap(e.buf) > maxPooledBuf {
+		return
+	}
+	e.w = nil
+	e.buf = e.buf[:0]
+	e.wroteHdr = false
+	e.err = nil
+	if len(e.types) > 0 {
+		clear(e.types)
+	}
+	if len(e.refs) > 0 {
+		clear(e.refs)
+	}
+	e.nextRef = 0
+	e.depth = 0
+	encoderPool.Put(e)
+}
+
 // Marshal pickles v into a fresh byte slice. It is the paper's PickleWrite.
 func Marshal(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := NewEncoder(&buf).Encode(v); err != nil {
+	e := getEncoder()
+	if err := e.Encode(v); err != nil {
+		putEncoder(e)
 		return nil, err
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	putEncoder(e)
+	return out, nil
+}
+
+// AppendMarshal pickles v and appends the result to dst, returning the
+// extended slice. It is Marshal for callers that already own a buffer —
+// the log append path — so steady-state pickling allocates nothing.
+func AppendMarshal(dst []byte, v any) ([]byte, error) {
+	e := getEncoder()
+	if err := e.Encode(v); err != nil {
+		putEncoder(e)
+		return dst, err
+	}
+	dst = append(dst, e.buf...)
+	putEncoder(e)
+	return dst, nil
 }
 
 // Unmarshal reads a pickled value from data into the variable pointed to by
-// ptr. It is the paper's PickleRead.
+// ptr. It is the paper's PickleRead. It decodes directly from data on
+// pooled state, with no intermediate buffering.
 func Unmarshal(data []byte, ptr any) error {
-	return NewDecoder(bytes.NewReader(data)).Decode(ptr)
+	codec.decPoolGets.Add(1)
+	d := decoderPool.Get().(*Decoder)
+	d.data = data
+	err := d.Decode(ptr)
+	d.data = nil
+	d.pos = 0
+	d.types = d.types[:0]
+	d.readHdr = false
+	if len(d.refs) > 0 {
+		clear(d.refs)
+	}
+	d.depth = 0
+	decoderPool.Put(d)
+	return err
 }
 
 // Write pickles v onto w; it is a streaming PickleWrite, used for

@@ -1,0 +1,5 @@
+//go:build !race
+
+package pickle
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package pickle
+
+// raceEnabled reports whether the race detector is on; its instrumentation
+// allocates, so alloc-ceiling tests skip themselves under -race.
+const raceEnabled = true

@@ -1,0 +1,42 @@
+package pickle
+
+import "sync/atomic"
+
+// codec holds package-wide counters for the compiled-plan machinery. They
+// are cheap atomics bumped off the hot path (plan compilation, pool
+// refills) and on pool gets, and are surfaced through Stats so the obs
+// layer can export them without this package importing it.
+var codec struct {
+	encPlanCompiles atomic.Uint64
+	decPlanCompiles atomic.Uint64
+	encPoolGets     atomic.Uint64
+	encPoolMisses   atomic.Uint64
+	decPoolGets     atomic.Uint64
+	decPoolMisses   atomic.Uint64
+}
+
+// CodecStats is a snapshot of the compiled-codec machinery's counters.
+type CodecStats struct {
+	// EncPlanCompiles and DecPlanCompiles count per-type codec program
+	// compilations; in steady state they stop growing.
+	EncPlanCompiles uint64
+	DecPlanCompiles uint64
+	// Pool gets and misses for the pooled Marshal/Unmarshal state. A miss
+	// is a get that had to allocate fresh state; hit rate = 1 - misses/gets.
+	EncPoolGets   uint64
+	EncPoolMisses uint64
+	DecPoolGets   uint64
+	DecPoolMisses uint64
+}
+
+// Stats returns a snapshot of the codec counters.
+func Stats() CodecStats {
+	return CodecStats{
+		EncPlanCompiles: codec.encPlanCompiles.Load(),
+		DecPlanCompiles: codec.decPlanCompiles.Load(),
+		EncPoolGets:     codec.encPoolGets.Load(),
+		EncPoolMisses:   codec.encPoolMisses.Load(),
+		DecPoolGets:     codec.decPoolGets.Load(),
+		DecPoolMisses:   codec.decPoolMisses.Load(),
+	}
+}

@@ -33,6 +33,9 @@ type Config struct {
 	// its data from another replica". The crashtest harness uses it to
 	// exercise exactly that recovery path.
 	UnsafeNoSync bool
+	// ReplayWorkers passes through to the store's restart decode
+	// pipeline (0 = auto, 1 = sequential).
+	ReplayWorkers int
 	// Obs and Tracer pass through to the store and additionally receive
 	// the replication metrics (replica_*) and the replica.push /
 	// replica.antientropy events.
@@ -91,6 +94,7 @@ func Open(cfg Config) (*Node, error) {
 		MaxLogBytes:   cfg.MaxLogBytes,
 		MaxLogEntries: cfg.MaxLogEntries,
 		UnsafeNoSync:  cfg.UnsafeNoSync,
+		ReplayWorkers: cfg.ReplayWorkers,
 		Obs:           cfg.Obs,
 		Tracer:        cfg.Tracer,
 	})

@@ -1,0 +1,38 @@
+package wal
+
+import (
+	"testing"
+
+	"smalldb/internal/vfs"
+)
+
+// TestAppendAllocCeiling pins the per-append allocation count: framing
+// happens in place in the grow-only pending buffer and the flush path
+// recycles its double buffer, so a committed append costs only what the
+// in-memory file system charges for the write itself.
+func TestAppendAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	fs := vfs.NewMem(1)
+	l, err := Create(fs, "log", 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	// Warm up so the pending/spare buffers reach steady-state capacity.
+	for i := 0; i < 16; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("Append: %.1f allocs/op, want <= 4", allocs)
+	}
+}

@@ -1,0 +1,123 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+
+	"smalldb/internal/vfs"
+)
+
+// Pipelined replay: restart time is dominated by re-deserializing log
+// entries, which is pure CPU and embarrassingly parallel, while applying
+// them must stay strictly sequential to reproduce the exact pre-crash
+// state. ReplayPipelined splits the two: one goroutine scans frames off the
+// disk, a bounded worker pool decodes payloads out of order, and the
+// caller's goroutine applies results in sequence order. The applied state
+// is byte-identical to a sequential Replay — only the wall clock differs.
+
+// errStopped aborts the scanner once the applier has already failed; the
+// applier's error wins.
+var errStopped = errors.New("wal: replay stopped")
+
+// replayJob carries one intact log entry through the decode pool.
+type replayJob struct {
+	seq     uint64
+	payload []byte
+	v       any
+	err     error
+	done    chan struct{} // closed when v/err are ready
+}
+
+// ReplayPipelined is Replay with the per-entry work split into a decode
+// function, run on up to workers goroutines concurrently and out of order,
+// and an apply function, called on the caller's goroutine strictly in
+// sequence order. decode must not touch shared state; payload is owned by
+// the callee. workers <= 1 degenerates to the sequential Replay.
+func ReplayPipelined(fs vfs.FS, name string, firstSeq uint64, opts ReplayOptions, workers int,
+	decode func(seq uint64, payload []byte) (any, error),
+	apply func(seq uint64, v any) error) (ReplayResult, error) {
+	if workers <= 1 {
+		return Replay(fs, name, firstSeq, opts, func(seq uint64, payload []byte) error {
+			v, err := decode(seq, payload)
+			if err != nil {
+				return err
+			}
+			return apply(seq, v)
+		})
+	}
+
+	// jobs feeds the decode pool; order carries the same jobs to the
+	// applier in scan order. Buffers bound read-ahead so a huge log does
+	// not sit in memory all at once.
+	jobs := make(chan *replayJob, 2*workers)
+	order := make(chan *replayJob, 2*workers)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				j.v, j.err = decode(j.seq, j.payload)
+				close(j.done)
+			}
+		}()
+	}
+
+	var (
+		res     ReplayResult
+		scanErr error
+	)
+	go func() {
+		res, scanErr = Replay(fs, name, firstSeq, opts, func(seq uint64, payload []byte) error {
+			j := &replayJob{seq: seq, payload: payload, done: make(chan struct{})}
+			select {
+			case order <- j:
+			case <-stop:
+				return errStopped
+			}
+			select {
+			case jobs <- j:
+			case <-stop:
+				// The job is in order but will never be decoded; the
+				// applier is already draining without waiting.
+				return errStopped
+			}
+			return nil
+		})
+		close(jobs)
+		close(order)
+	}()
+
+	var applyErr error
+	for j := range order {
+		if applyErr != nil {
+			continue // draining after failure: do not wait on done
+		}
+		<-j.done
+		if j.err != nil {
+			applyErr = j.err
+			halt()
+			continue
+		}
+		if err := apply(j.seq, j.v); err != nil {
+			applyErr = err
+			halt()
+		}
+	}
+	wg.Wait()
+
+	// order is closed only after Replay returned, so reading res/scanErr
+	// here is ordered. The applier's error wins over the scanner's
+	// stop-induced one.
+	if applyErr != nil {
+		return res, applyErr
+	}
+	if scanErr != nil {
+		return res, scanErr
+	}
+	return res, nil
+}

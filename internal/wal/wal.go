@@ -40,6 +40,9 @@ import (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// maxSpareFlushBuf bounds the flush buffer kept across group commits.
+const maxSpareFlushBuf = 1 << 20
+
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
 
@@ -92,6 +95,7 @@ type Log struct {
 	nextSeq      uint64
 	size         int64
 	pending      []byte // frames appended but not yet written+synced (group commit)
+	spare        []byte // the previous flush's buffer, recycled to rebuild pending
 	pendingCount int    // entries in pending
 	pendingHi    uint64 // highest seq in pending
 	committed    uint64 // highest seq known durable
@@ -159,14 +163,21 @@ func (l *Log) NextSeq() uint64 {
 	return l.nextSeq
 }
 
-// frame encodes one log entry.
-func frame(seq uint64, payload []byte) []byte {
-	buf := make([]byte, 0, 2*binary.MaxVarintLen64+len(payload)+4)
+// appendFrame encodes one log entry in place at the end of buf, so the
+// append path frames straight into the shared pending buffer with no
+// per-entry allocation.
+func appendFrame(buf []byte, seq uint64, payload []byte) []byte {
+	base := len(buf)
 	buf = binary.AppendUvarint(buf, seq)
 	buf = binary.AppendUvarint(buf, uint64(len(payload)))
 	buf = append(buf, payload...)
-	sum := crc32.Checksum(buf, crcTable)
+	sum := crc32.Checksum(buf[base:], crcTable)
 	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// frame encodes one log entry into a fresh slice.
+func frame(seq uint64, payload []byte) []byte {
+	return appendFrame(make([]byte, 0, 2*binary.MaxVarintLen64+len(payload)+4), seq, payload)
 }
 
 // Append writes one entry and makes it durable; when it returns, the entry
@@ -195,13 +206,14 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error) {
 	}
 	seq := l.nextSeq
 	l.nextSeq++
-	fr := frame(seq, payload)
-	l.pending = append(l.pending, fr...)
+	was := len(l.pending)
+	l.pending = appendFrame(l.pending, seq, payload)
+	frameLen := len(l.pending) - was
 	l.pendingCount++
 	l.pendingHi = seq
-	l.size += int64(len(fr))
+	l.size += int64(frameLen)
 	l.m.appends.Inc()
-	l.m.appendBytes.Add(uint64(len(fr)))
+	l.m.appendBytes.Add(uint64(frameLen))
 	return seq, func() error { return l.waitDurable(seq) }
 }
 
@@ -246,9 +258,15 @@ func (l *Log) flushLocked() error {
 	buf := l.pending
 	hi := l.pendingHi
 	entries := l.pendingCount
-	l.pending = nil
+	// Swap in the previous flush's buffer so appends arriving during the
+	// I/O frame into recycled storage instead of regrowing from nil. Only
+	// one flush runs at a time (l.syncing), so buf is ours until we hand
+	// it back below.
+	l.pending = l.spare[:0]
+	l.spare = nil
 	l.pendingCount = 0
 	if len(buf) == 0 {
+		l.spare = buf
 		return nil
 	}
 	l.mu.Unlock()
@@ -273,6 +291,12 @@ func (l *Log) flushLocked() error {
 		}})
 	}
 	l.mu.Lock()
+	// Hand the written buffer back for the next flush cycle, unless it
+	// ballooned (a giant group) — holding that much memory between
+	// flushes is not worth the saved allocation.
+	if l.spare == nil && cap(buf) <= maxSpareFlushBuf {
+		l.spare = buf[:0]
+	}
 	// Wake every waiter regardless of outcome: they either see their
 	// sequence committed or the poisoned log.
 	defer l.cond.Broadcast()
