@@ -31,6 +31,7 @@ func main() {
 		to      = flag.Int64("to", -1, "last crash point to replay (<= 0 = through the final op)")
 		stride  = flag.Int64("stride", 1, "replay every stride-th crash point")
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "crash points replayed in parallel")
+		overlap = flag.Bool("overlap", false, "commit updates inside each checkpoint's mirror window (sweeps the non-blocking checkpoint protocol)")
 		nosync  = flag.Bool("nosync", false, "run without log syncs (store mode must then report violations; replica mode must still recover via its peer)")
 		verbose = flag.Bool("v", false, "log progress")
 	)
@@ -39,15 +40,16 @@ func main() {
 	violations := 0
 	for _, m := range strings.Split(*mode, ",") {
 		cfg := crashtest.Config{
-			Seed:            *seed,
-			Ops:             *ops,
-			CheckpointEvery: *cpEvery,
-			Mode:            strings.TrimSpace(m),
-			From:            *from,
-			To:              *to,
-			Stride:          *stride,
-			Shards:          *shards,
-			UnsafeNoSync:    *nosync,
+			Seed:               *seed,
+			Ops:                *ops,
+			CheckpointEvery:    *cpEvery,
+			Mode:               strings.TrimSpace(m),
+			From:               *from,
+			To:                 *to,
+			Stride:             *stride,
+			Shards:             *shards,
+			OverlapCheckpoints: *overlap,
+			UnsafeNoSync:       *nosync,
 		}
 		if *verbose {
 			cfg.Logf = log.Printf
@@ -62,6 +64,9 @@ func main() {
 		extra := ""
 		if *nosync {
 			extra = " -nosync"
+		}
+		if *overlap {
+			extra += " -overlap"
 		}
 		if *cpEvery != 0 {
 			extra += fmt.Sprintf(" -cp-every %d", *cpEvery)

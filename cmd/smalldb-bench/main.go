@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -82,7 +84,7 @@ func main() {
 				ops = 200
 			}
 		}
-		if err := writeMetricsJSON(*jsonOut, ops, *seed); err != nil {
+		if err := writeMetricsJSON(*jsonOut, ops, *seed, *quick); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -191,10 +193,141 @@ func microBenches() (map[string]microJSON, error) {
 	return out, nil
 }
 
+// latJSON summarizes client-observed latencies of one workload phase.
+type latJSON struct {
+	Count int   `json:"count"`
+	P50NS int64 `json:"p50_ns"`
+	P99NS int64 `json:"p99_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+func summarize(ds []time.Duration) latJSON {
+	if len(ds) == 0 {
+		return latJSON{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pick := func(q float64) int64 {
+		// Nearest-rank, rounding up: with few samples the quantile must
+		// not fall below the observations it claims to cover.
+		i := int(q*float64(len(ds))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ds) {
+			i = len(ds) - 1
+		}
+		return ds[i].Nanoseconds()
+	}
+	return latJSON{
+		Count: len(ds),
+		P50NS: pick(0.50),
+		P99NS: pick(0.99),
+		MaxNS: ds[len(ds)-1].Nanoseconds(),
+	}
+}
+
+// checkpointStallMode measures update latency around one checkpoint of a
+// large root dragged through a throughput-paced disk: steady-state latency
+// with no checkpoint in flight, then the latency of updates issued while
+// the checkpoint runs. With the mirror-window protocol the two should be
+// indistinguishable; with BlockingCheckpoint the in-window updates stall
+// for the whole disk write.
+func checkpointStallMode(blocking bool, seed int64, rootEntries, valBytes int, bps int64) (map[string]any, error) {
+	reg := obs.NewRegistry()
+	slow := vfs.NewSlow(vfs.NewMem(seed))
+	ns, err := nameserver.Open(nameserver.Config{FS: slow, Obs: reg, Retain: 1, BlockingCheckpoint: blocking})
+	if err != nil {
+		return nil, err
+	}
+	defer ns.Close()
+
+	// Build the root and compact it at full disk speed.
+	val := strings.Repeat("x", valBytes)
+	for i := 0; i < rootEntries; i++ {
+		if err := ns.Set(fmt.Sprintf("stall/dir%d/e%d", i%61, i), val); err != nil {
+			return nil, err
+		}
+	}
+	if err := ns.Checkpoint(); err != nil {
+		return nil, err
+	}
+
+	slow.SetDelay(0, bps)
+	defer slow.SetDelay(0, 0)
+
+	steady := make([]time.Duration, 0, 256)
+	for i := 0; i < 200; i++ {
+		t0 := time.Now()
+		if err := ns.Set(fmt.Sprintf("steady/e%d", i), "v"); err != nil {
+			return nil, err
+		}
+		steady = append(steady, time.Since(t0))
+	}
+
+	cpDone := make(chan error, 1)
+	cpStart := time.Now()
+	go func() { cpDone <- ns.Checkpoint() }()
+	// Don't start measuring until the checkpoint is actually in flight:
+	// updates squeezed in before its goroutine is scheduled would dilute
+	// the blocking mode's percentiles with unblocked samples.
+	inflight := reg.Gauge("core_checkpoint_inflight")
+	for inflight.Value() == 0 {
+		runtime.Gosched()
+	}
+	var during []time.Duration
+	for i := 0; ; i++ {
+		select {
+		case err := <-cpDone:
+			if err != nil {
+				return nil, err
+			}
+			cpElapsed := time.Since(cpStart)
+			st := ns.Stats()
+			return map[string]any{
+				"blocking":         blocking,
+				"checkpoint_ns":    cpElapsed.Nanoseconds(),
+				"steady":           summarize(steady),
+				"during":           summarize(during),
+				"lock_stall_ns":    st.CheckpointStallTime.Nanoseconds(),
+				"mirrored_entries": reg.Counter("checkpoint_mirrored_entries").Value(),
+			}, nil
+		default:
+		}
+		t0 := time.Now()
+		if err := ns.Set(fmt.Sprintf("during/e%d", i), "v"); err != nil {
+			return nil, err
+		}
+		during = append(during, time.Since(t0))
+	}
+}
+
+// checkpointStallJSON runs checkpointStallMode for the mirror-window
+// protocol and the BlockingCheckpoint ablation on the same root and disk.
+func checkpointStallJSON(seed int64, quick bool) (map[string]any, error) {
+	rootEntries, valBytes, bps := 4096, 4096, int64(64<<20) // 16 MiB root, ~250ms checkpoint
+	if quick {
+		rootEntries = 1024 // 4 MiB root, ~60ms checkpoint
+	}
+	nonblocking, err := checkpointStallMode(false, seed, rootEntries, valBytes, bps)
+	if err != nil {
+		return nil, err
+	}
+	blocking, err := checkpointStallMode(true, seed, rootEntries, valBytes, bps)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"root_bytes":          int64(rootEntries) * int64(valBytes),
+		"disk_bytes_per_sec":  bps,
+		"nonblocking":         nonblocking,
+		"blocking_checkpoint": blocking,
+	}, nil
+}
+
 // writeMetricsJSON runs the fixed metrics workload — an instrumented
 // in-memory store under a mixed update/enquiry load — and writes the
 // resulting snapshot.
-func writeMetricsJSON(path string, ops int, seed int64) error {
+func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 	reg := obs.NewRegistry()
 	ns, err := nameserver.Open(nameserver.Config{FS: vfs.NewMem(seed), Obs: reg})
 	if err != nil {
@@ -223,6 +356,10 @@ func writeMetricsJSON(path string, ops int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	stall, err := checkpointStallJSON(seed, quick)
+	if err != nil {
+		return err
+	}
 
 	out := map[string]any{
 		"schema":     "smalldb-bench-metrics/v1",
@@ -235,9 +372,11 @@ func writeMetricsJSON(path string, ops int, seed int64) error {
 			"apply":             phase(st.ApplyDist),
 			"checkpoint_pickle": phase(st.CheckpointPickleDist),
 			"checkpoint_io":     phase(st.CheckpointIODist),
+			"checkpoint_switch": phase(st.CheckpointSwitchDist),
 		},
-		"micro":   micros,
-		"metrics": reg.Snapshot(),
+		"checkpoint_stall": stall,
+		"micro":            micros,
+		"metrics":          reg.Snapshot(),
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -326,9 +326,41 @@ func Switch(fs vfs.FS, cur State, write func(w io.Writer) error, retain int) (St
 	return SwitchWith(fs, cur, write, Options{Retain: retain})
 }
 
-// SwitchWith is Switch with full Options.
+// SwitchWith is Switch with full Options. It composes the split protocol
+// steps below; callers that need to interleave other work between the steps
+// (the store's non-blocking checkpoint) call them directly.
 func SwitchWith(fs vfs.FS, cur State, write func(w io.Writer) error, opts Options) (State, error) {
 	start := time.Now()
+	next, err := Prepare(fs, cur, write, opts)
+	if err != nil {
+		return cur, err
+	}
+	lf, err := CreateLogFile(fs, next)
+	if err != nil {
+		return cur, err
+	}
+	if err := lf.Close(); err != nil {
+		return cur, err
+	}
+	if err := CommitNewVersion(fs, next); err != nil {
+		return cur, err
+	}
+	if err := InstallVersion(fs); err != nil {
+		return cur, err
+	}
+	st, err := Finish(fs, next, opts)
+	if err == nil {
+		ObserveSwitch(opts, start)
+	}
+	return st, err
+}
+
+// Prepare performs the first step of a switch from cur: write and sync the
+// next version's checkpoint file, streamed through write. The version files
+// are untouched — the old version remains current, and a crash (or Abort)
+// leaves only debris that recovery clears. It reports the new version
+// number.
+func Prepare(fs vfs.FS, cur State, write func(w io.Writer) error, opts Options) (uint64, error) {
 	next := cur.Version + 1
 	var written int64
 	counted := func(w io.Writer) error {
@@ -338,31 +370,73 @@ func SwitchWith(fs vfs.FS, cur State, write func(w io.Writer) error, opts Option
 		return err
 	}
 	if err := writeCheckpointFile(fs, CheckpointName(next), counted); err != nil {
-		return cur, err
+		return 0, err
 	}
 	opts.Obs.Histogram("checkpoint_bytes").Observe(written)
-	if err := createEmptySynced(fs, LogName(next)); err != nil {
-		return cur, err
+	return next, nil
+}
+
+// CreateLogFile creates version v's empty log file, syncs it, and returns
+// the open handle: the non-blocking checkpoint hands it to the WAL's mirror
+// window so the log's tail can be drained into it before the flip. Callers
+// with no such need just Close it.
+func CreateLogFile(fs vfs.FS, v uint64) (vfs.File, error) {
+	f, err := fs.Create(LogName(v))
+	if err != nil {
+		return nil, err
 	}
-	// Commit point: newversion durably names the new version.
-	if err := vfs.WriteFile(fs, newVersionFile, []byte(strconv.FormatUint(next, 10)+"\n")); err != nil {
-		return cur, err
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
 	}
-	// Tidy: delete what falls out of retention, install version file.
+	return f, nil
+}
+
+// CommitNewVersion durably writes the newversion file naming v — the commit
+// point of the switch. Until it returns successfully the old version is
+// still what recovery restores; afterwards it is v. The caller must have
+// completed Prepare and CreateLogFile (and made the new log's contents as
+// current as it wants them) for version v first.
+func CommitNewVersion(fs vfs.FS, v uint64) error {
+	return vfs.WriteFile(fs, newVersionFile, []byte(strconv.FormatUint(v, 10)+"\n"))
+}
+
+// InstallVersion completes a committed switch: delete version, rename
+// newversion over it. Recovery performs these same steps if a crash
+// interrupts them.
+func InstallVersion(fs vfs.FS) error {
 	if vfs.Exists(fs, versionFile) {
 		if err := fs.Remove(versionFile); err != nil {
-			return cur, err
+			return err
 		}
 	}
-	if err := fs.Rename(newVersionFile, versionFile); err != nil {
-		return cur, err
+	return fs.Rename(newVersionFile, versionFile)
+}
+
+// Finish tidies after an installed switch to v — deleting or archiving what
+// fell out of retention — and reports the resulting state.
+func Finish(fs vfs.FS, v uint64, opts Options) (State, error) {
+	return cleanup(fs, v, opts)
+}
+
+// Abort removes the uncommitted debris of a prepared switch to v (the
+// checkpoint and log files a crashed switch would also leave; recovery
+// clears the same ones). It must not be called once CommitNewVersion has
+// succeeded. Removal is best-effort: anything left behind is cleared by the
+// next switch or recovery.
+func Abort(fs vfs.FS, v uint64) {
+	for _, n := range []string{CheckpointName(v), LogName(v)} {
+		if vfs.Exists(fs, n) {
+			_ = fs.Remove(n)
+		}
 	}
-	st, err := cleanup(fs, next, opts)
-	if err == nil {
-		opts.Obs.Counter("checkpoint_switches").Inc()
-		opts.Obs.Histogram("checkpoint_switch_ns").ObserveSince(start)
-	}
-	return st, err
+}
+
+// ObserveSwitch records one completed switch, begun at start, in opts'
+// metrics.
+func ObserveSwitch(opts Options, start time.Time) {
+	opts.Obs.Counter("checkpoint_switches").Inc()
+	opts.Obs.Histogram("checkpoint_switch_ns").ObserveSince(start)
 }
 
 // countingWriter counts the bytes streamed through it.

@@ -15,8 +15,12 @@
 //     so enquiries keep running; (3) upgrade to exclusive and apply the
 //     mutation to the in-memory structure.
 //   - A checkpoint (Checkpoint) pickles the entire root under the update
-//     lock and installs it with the version-file protocol, then starts an
-//     empty log.
+//     lock — in memory only — then writes it to disk and installs it with
+//     the version-file protocol in the background while updates keep
+//     committing (the WAL mirror-window protocol; see checkpointNonBlocking
+//     and DESIGN.md), finally retargeting the log in a brief critical
+//     section. Config.BlockingCheckpoint restores the paper's fully-locked
+//     variant.
 //   - Open recovers: find the current checkpoint, load it, replay the log.
 //
 // The database root and every update type are ordinary Go values; the
@@ -123,6 +127,15 @@ type Config struct {
 	// only as an ablation (E5/E9) quantifying what the paper's one disk
 	// write per update buys and costs.
 	UnsafeNoSync bool
+	// BlockingCheckpoint restores the paper's original §3 checkpoint:
+	// the update lock is held across the entire disk transfer, excluding
+	// updates for the checkpoint's whole duration. By default checkpoints
+	// hold the update lock only while the root is pickled in memory and
+	// do every disk write in the background (the mirror-window protocol).
+	// The blocking path remains as the E-series ablation and is implied
+	// by UnsafeNoSync, whose missing commit point defeats the mirror
+	// window's durability reasoning.
+	BlockingCheckpoint bool
 	// Obs, when non-nil, receives the store's metrics (core_*), the
 	// log's (wal_*), the checkpoint protocol's (checkpoint_*) and the
 	// three-mode lock's (core_lock_*), for export through the debug
@@ -159,10 +172,20 @@ type Stats struct {
 
 	CheckpointPickleTime time.Duration
 	CheckpointIOTime     time.Duration
+	// CheckpointStallTime is the update-lock hold time attributable to
+	// checkpoints: with the default non-blocking path, only the in-memory
+	// pickle; with BlockingCheckpoint, the checkpoint's whole duration.
+	CheckpointStallTime time.Duration
+	// CheckpointSwitchTime covers the version-switch protocol: new log
+	// creation, mirror drain, newversion commit, install and retention
+	// cleanup — everything past the checkpoint file write.
+	CheckpointSwitchTime time.Duration
 
 	// Per-checkpoint phase distributions, in nanoseconds.
 	CheckpointPickleDist obs.Snapshot
 	CheckpointIODist     obs.Snapshot
+	CheckpointStallDist  obs.Snapshot
+	CheckpointSwitchDist obs.Snapshot
 
 	RestartCheckpointTime time.Duration
 	RestartReplayTime     time.Duration
@@ -192,8 +215,12 @@ type Store struct {
 	logEntries int64
 	poisoned   error
 	closed     bool
+	lastCPErr  error                 // outcome of the most recent checkpoint attempt
+	cpHook     func(CheckpointStage) // test instrumentation; see SetCheckpointStageHook
 
-	checkpointing atomic.Bool // auto-checkpoint in flight
+	checkpointing atomic.Bool    // auto-checkpoint in flight
+	cpMu          sync.Mutex     // serializes whole checkpoints end to end
+	cpWG          sync.WaitGroup // in-flight auto-checkpoint goroutines; Close waits
 
 	// statMu guards stats. Every write to stats — including the
 	// restart-time fields set during Open — goes through recordStats, so
@@ -206,13 +233,16 @@ type Store struct {
 	hist struct {
 		verify, pickle, commit, apply *obs.Histogram
 		cpPickle, cpIO                *obs.Histogram
+		cpStall, cpSwitch             *obs.Histogram
 	}
 	// ctr mirrors the headline counters into cfg.Obs (nil-safe when no
 	// registry is configured).
 	ctr struct {
 		enquiries, updates, checkpoints *obs.Counter
+		cpErrors, cpMirrored            *obs.Counter
 	}
-	tracer obs.Tracer
+	cpInflight *obs.Gauge
+	tracer     obs.Tracer
 
 	stopTimer chan struct{}
 	timerWG   sync.WaitGroup
@@ -229,10 +259,15 @@ func (s *Store) initObs() {
 	s.hist.apply = obs.NewHistogram()
 	s.hist.cpPickle = obs.NewHistogram()
 	s.hist.cpIO = obs.NewHistogram()
+	s.hist.cpStall = obs.NewHistogram()
+	s.hist.cpSwitch = obs.NewHistogram()
 	reg := s.cfg.Obs
 	s.ctr.enquiries = reg.Counter("core_enquiries")
 	s.ctr.updates = reg.Counter("core_updates")
 	s.ctr.checkpoints = reg.Counter("core_checkpoints")
+	s.ctr.cpErrors = reg.Counter("core_checkpoint_errors")
+	s.ctr.cpMirrored = reg.Counter("checkpoint_mirrored_entries")
+	s.cpInflight = reg.Gauge("core_checkpoint_inflight")
 	if reg != nil {
 		reg.Register("core_update_verify_ns", s.hist.verify)
 		reg.Register("core_update_pickle_ns", s.hist.pickle)
@@ -240,6 +275,8 @@ func (s *Store) initObs() {
 		reg.Register("core_update_apply_ns", s.hist.apply)
 		reg.Register("core_checkpoint_pickle_ns", s.hist.cpPickle)
 		reg.Register("core_checkpoint_io_ns", s.hist.cpIO)
+		reg.Register("checkpoint_stall_ns", s.hist.cpStall)
+		reg.Register("core_checkpoint_switch_ns", s.hist.cpSwitch)
 		reg.Register("core_log_bytes", func() any {
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -691,38 +728,311 @@ func (s *Store) Err() error {
 	return s.poisoned
 }
 
+// maybeAutoCheckpoint triggers a checkpoint when an update left the log
+// past its configured thresholds. The updating goroutine only checks
+// counters: the checkpoint itself runs on a background goroutine, so the
+// update that crossed the threshold does not pay the checkpoint's latency.
+// Single-flight (checkpointing); Close waits for an in-flight one.
 func (s *Store) maybeAutoCheckpoint() {
 	if s.cfg.MaxLogBytes <= 0 && s.cfg.MaxLogEntries <= 0 {
 		return
 	}
-	s.mu.Lock()
-	trigger := false
-	if s.log != nil && !s.closed && s.poisoned == nil {
-		if s.cfg.MaxLogBytes > 0 && s.log.Size() > s.cfg.MaxLogBytes {
-			trigger = true
-		}
-		if s.cfg.MaxLogEntries > 0 && s.logEntries > s.cfg.MaxLogEntries {
-			trigger = true
-		}
-	}
-	s.mu.Unlock()
-	if !trigger {
+	if !s.autoCheckpointDue() {
 		return
 	}
 	if !s.checkpointing.CompareAndSwap(false, true) {
 		return // one at a time
 	}
-	defer s.checkpointing.Store(false)
-	// Best effort: a failed auto-checkpoint leaves the old version
-	// current; updates keep logging.
-	_ = s.Checkpoint()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.checkpointing.Store(false)
+		return
+	}
+	s.cpWG.Add(1) // under mu with closed checked, so Close cannot be Waiting yet
+	s.mu.Unlock()
+	go func() {
+		defer s.checkpointing.Store(false)
+		defer s.cpWG.Done()
+		// Re-check: a manual or timer checkpoint may have emptied the log
+		// while this goroutine was starting. Best effort — a failure
+		// leaves the old version current and surfaces through
+		// core_checkpoint_errors and LastCheckpointErr.
+		if s.autoCheckpointDue() {
+			_ = s.Checkpoint()
+		}
+	}()
+}
+
+// autoCheckpointDue reports whether the log has outgrown the auto-checkpoint
+// thresholds.
+func (s *Store) autoCheckpointDue() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil || s.closed || s.poisoned != nil {
+		return false
+	}
+	if s.cfg.MaxLogBytes > 0 && s.log.Size() > s.cfg.MaxLogBytes {
+		return true
+	}
+	if s.cfg.MaxLogEntries > 0 && s.logEntries > s.cfg.MaxLogEntries {
+		return true
+	}
+	return false
 }
 
 // Checkpoint records the entire database on disk and starts an empty log
-// (§3). It holds the update lock throughout — updates are excluded, but
-// enquiries proceed even during the disk transfers.
+// (§3). By default updates are excluded only while the root is pickled in
+// memory; every disk transfer happens while updates keep committing (see
+// checkpointNonBlocking). With Config.BlockingCheckpoint — or UnsafeNoSync,
+// which has no commit point for the mirror window to preserve — the paper's
+// fully-locked variant runs instead. Enquiries proceed either way.
+// Concurrent Checkpoint calls serialize; each performs a full switch.
 func (s *Store) Checkpoint() error {
-	s.lock.Update()
+	s.cpMu.Lock()
+	defer s.cpMu.Unlock()
+	s.cpInflight.Set(1)
+	var err error
+	if s.cfg.BlockingCheckpoint || s.cfg.UnsafeNoSync {
+		err = s.checkpointBlocking()
+	} else {
+		err = s.checkpointNonBlocking()
+	}
+	s.cpInflight.Set(0)
+	s.mu.Lock()
+	s.lastCPErr = err
+	s.mu.Unlock()
+	if err != nil && !errors.Is(err, ErrClosed) {
+		s.ctr.cpErrors.Inc()
+		obs.Emit(s.tracer, obs.Event{Name: "checkpoint.error", Err: err})
+	}
+	return err
+}
+
+// LastCheckpointErr reports the outcome of the most recent checkpoint
+// attempt: nil after a success (or before any attempt). Auto- and
+// timer-triggered checkpoints run off the update path, so this accessor —
+// with the core_checkpoint_errors counter and the checkpoint.error tracer
+// event — is how their failures surface.
+func (s *Store) LastCheckpointErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastCPErr
+}
+
+// CheckpointStage identifies a point inside the non-blocking checkpoint at
+// which the store calls the hook installed by SetCheckpointStageHook. The
+// crashtest harness uses the stages to apply updates deterministically
+// inside the mirror window, so its crash-point sweep covers
+// concurrent-with-checkpoint commits without racing goroutines.
+type CheckpointStage string
+
+const (
+	// StageMirrorOpen: the update lock has been released; appends commit
+	// to the old log and are buffered for the new one. The checkpoint
+	// file has not been written.
+	StageMirrorOpen CheckpointStage = "mirror-open"
+	// StageFileWritten: the checkpoint file and the new log exist and the
+	// mirror is durably caught up; the version has not flipped.
+	StageFileWritten CheckpointStage = "file-written"
+	// StageFlipped: newversion is durably installed (the switch is
+	// committed) but the WAL still appends to the old file, dual-writing
+	// the new one.
+	StageFlipped CheckpointStage = "flipped"
+)
+
+// SetCheckpointStageHook installs fn, called synchronously on the
+// checkpointing goroutine at each stage of every non-blocking checkpoint
+// (nil uninstalls). Test instrumentation; the hook may Apply updates but
+// must not call Checkpoint, Close or History.
+func (s *Store) SetCheckpointStageHook(fn func(CheckpointStage)) {
+	s.mu.Lock()
+	s.cpHook = fn
+	s.mu.Unlock()
+}
+
+func (s *Store) stageHook(stage CheckpointStage) {
+	s.mu.Lock()
+	fn := s.cpHook
+	s.mu.Unlock()
+	if fn != nil {
+		fn(stage)
+	}
+}
+
+// checkpointNonBlocking is the mirror-window checkpoint:
+//
+//  1. Under the update lock: flush the group-commit pipeline (every
+//     applied update becomes durable in the old log), record nextSeq,
+//     pickle the root into a pooled in-memory buffer — the only disk-free,
+//     CPU-bound work — and open the WAL's mirror window. Release the lock;
+//     updates commit normally from here on, to the old log, with each
+//     frame also buffered for the new one.
+//  2. In the background: stream the buffered checkpoint to disk and sync
+//     it, create the new log file, attach it to the mirror window and
+//     drain the mirrored tail into it. From the attach on, every flush
+//     writes and syncs both logs before acknowledging, so at every
+//     instant the new log durably holds every acknowledged entry with
+//     seq >= nextSeq. Then commit the switch (newversion durable) and
+//     install the version file.
+//  3. A brief mu-only critical section retargets the WAL to the new file
+//     and swaps the checkpoint state; retention cleanup runs last, after
+//     the old file handle is closed.
+//
+// Crash safety at every op: before the newversion commit, recovery
+// restores the old checkpoint + old log, which received every
+// acknowledged update throughout (it stays the commit point); the debris
+// of the new version is cleared. After the commit, recovery restores the
+// new checkpoint + new log, which the dual-sync rule has kept durably
+// complete up to every acknowledgement. The crashtest overlap sweep
+// (cmd/crashtest -overlap) proves this at every faultfs op index.
+func (s *Store) checkpointNonBlocking() error {
+	s.lock.UpdateUrgent()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.lock.UpdateUnlock()
+		return ErrClosed
+	}
+	if s.poisoned != nil {
+		err := s.poisoned
+		s.mu.Unlock()
+		s.lock.UpdateUnlock()
+		return err
+	}
+	log := s.log
+	cur := s.cpState
+	s.mu.Unlock()
+
+	cpStart := time.Now()
+	if err := log.Flush(); err != nil {
+		s.poisonUnlessClosed(err)
+		s.lock.UpdateUnlock()
+		return err
+	}
+	s.mu.Lock()
+	nextSeq := s.applied + 1
+	s.mu.Unlock()
+	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.start", Attrs: []obs.Attr{
+		obs.A("version", cur.Version), obs.A("next_seq", nextSeq), obs.A("blocking", false),
+	}})
+
+	// Pickle the root in memory — the only phase that excludes updates.
+	p0 := time.Now()
+	bufp := cpBufPool.Get().(*[]byte)
+	sw := &sliceWriter{buf: (*bufp)[:0]}
+	perr := pickle.Write(sw, &header{NextSeq: nextSeq, Root: s.root})
+	buf := sw.buf
+	pickleTime := time.Since(p0)
+	if perr == nil {
+		perr = log.BeginMirror()
+	}
+	stall := time.Since(cpStart)
+	s.lock.UpdateUnlock()
+	s.hist.cpStall.ObserveDuration(stall)
+	if perr != nil {
+		putCPBuf(bufp, buf)
+		return perr
+	}
+	s.stageHook(StageMirrorOpen)
+
+	// Background from here: updates keep committing to the old log while
+	// the checkpoint goes to disk. abort undoes the window, leaving the
+	// old version current and the store healthy.
+	next := cur.Version + 1
+	abort := func(err error) error {
+		log.AbortMirror()
+		checkpoint.Abort(s.cfg.FS, next)
+		return err
+	}
+	ioStart := time.Now()
+	if _, err := checkpoint.Prepare(s.cfg.FS, cur, func(w io.Writer) error {
+		_, werr := w.Write(buf)
+		return werr
+	}, s.cpOpts()); err != nil {
+		putCPBuf(bufp, buf)
+		return abort(err)
+	}
+	putCPBuf(bufp, buf)
+	ioTime := time.Since(ioStart)
+
+	switchStart := time.Now()
+	lf, err := checkpoint.CreateLogFile(s.cfg.FS, next)
+	if err != nil {
+		return abort(err)
+	}
+	if err := log.AttachMirrorFile(lf); err != nil {
+		lf.Close()
+		return abort(err)
+	}
+	if err := log.SyncMirror(); err != nil {
+		// A failed mirror write has already poisoned the WAL (appends
+		// see the failure); record it at the store too.
+		s.poisonUnlessClosed(err)
+		return abort(err)
+	}
+	s.stageHook(StageFileWritten)
+
+	// The commit point: newversion durably names the new version.
+	if err := checkpoint.CommitNewVersion(s.cfg.FS, next); err != nil {
+		return abort(err)
+	}
+	if err := checkpoint.InstallVersion(s.cfg.FS); err != nil {
+		// The switch is committed on disk (a restart recovers the new
+		// version — complete, thanks to the dual-sync rule) but this
+		// process cannot finish it; running on would diverge from what
+		// recovery restores.
+		s.poisonUnlessClosed(err)
+		log.AbortMirror()
+		return err
+	}
+	s.stageHook(StageFlipped)
+
+	// Brief critical section: retarget the log to its new file and swap
+	// the checkpoint state. The old file handle is closed inside.
+	mirrored, err := log.FinishMirror(checkpoint.LogName(next))
+	if err != nil {
+		s.poisonUnlessClosed(err)
+		return err
+	}
+	s.ctr.cpMirrored.Add(uint64(mirrored))
+	s.mu.Lock()
+	// Provisional state until Finish reports retention; logEntries counts
+	// what the new log holds — exactly the window's mirrored entries plus
+	// whatever commits from now on.
+	s.cpState = checkpoint.State{Version: next, Retained: cur.Retained}
+	s.logEntries = int64(s.applied - (nextSeq - 1))
+	s.mu.Unlock()
+
+	// Retention cleanup last — after the WAL stopped touching the old
+	// file. A crash here leaves debris recovery clears the same way.
+	newState, err := checkpoint.Finish(s.cfg.FS, next, s.cpOpts())
+	if err != nil {
+		return err // the switch itself is complete; the store runs on
+	}
+	s.mu.Lock()
+	s.cpState = newState
+	s.mu.Unlock()
+	checkpoint.ObserveSwitch(s.cpOpts(), cpStart)
+	switchTime := time.Since(switchStart)
+
+	s.recordCheckpointStats(stall, pickleTime, ioTime, switchTime)
+	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Attrs: []obs.Attr{
+		obs.A("version", next),
+		obs.A("stall", stall.Round(time.Microsecond)),
+		obs.A("pickle", pickleTime.Round(time.Microsecond)),
+		obs.A("io", ioTime.Round(time.Microsecond)),
+		obs.A("switch", switchTime.Round(time.Microsecond)),
+		obs.A("mirrored", mirrored),
+	}})
+	return nil
+}
+
+// checkpointBlocking is the paper's original §3 checkpoint: the update lock
+// is held across every disk transfer. Kept as the BlockingCheckpoint
+// ablation and the UnsafeNoSync fallback.
+func (s *Store) checkpointBlocking() error {
+	s.lock.UpdateUrgent()
 	defer s.lock.UpdateUnlock()
 
 	s.mu.Lock()
@@ -741,7 +1051,7 @@ func (s *Store) Checkpoint() error {
 	s.mu.Unlock()
 
 	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.start", Attrs: []obs.Attr{
-		obs.A("version", cur.Version), obs.A("next_seq", nextSeq),
+		obs.A("version", cur.Version), obs.A("next_seq", nextSeq), obs.A("blocking", true),
 	}})
 	cpStart := time.Now()
 
@@ -753,19 +1063,10 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 
-	var pickleTime, ioTime time.Duration
-	start := time.Now()
-	newState, err := checkpoint.SwitchWith(s.cfg.FS, cur, func(w io.Writer) error {
-		p0 := time.Now()
-		cw := &countingWriter{w: w}
-		werr := pickle.Write(cw, &header{NextSeq: nextSeq, Root: s.root})
-		pickleTime = time.Since(p0) - cw.ioTime
-		ioTime = cw.ioTime
-		return werr
-	}, s.cpOpts())
-	if err != nil {
+	// reopenOld puts the old version's log back in service after a failed
+	// switch step; the old version is still current.
+	reopenOld := func(err error) error {
 		obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Err: err})
-		// The old version is still current; reopen its log for append.
 		reopened, rerr := wal.Open(s.cfg.FS, cur.LogName(), nextSeq, s.walOpts())
 		if rerr != nil {
 			s.poison(rerr)
@@ -776,7 +1077,51 @@ func (s *Store) Checkpoint() error {
 		s.mu.Unlock()
 		return err
 	}
-	ioTime += time.Since(start) - pickleTime - ioTime
+
+	// Phase accounting: pickle is the CPU time converting the root to
+	// bytes, io is the checkpoint file's buffered writes plus its sync,
+	// switch is the version-switch protocol (log creation, newversion
+	// commit, install, cleanup).
+	var pickleTime time.Duration
+	prepStart := time.Now()
+	next, err := checkpoint.Prepare(s.cfg.FS, cur, func(w io.Writer) error {
+		p0 := time.Now()
+		cw := &countingWriter{w: w}
+		werr := pickle.Write(cw, &header{NextSeq: nextSeq, Root: s.root})
+		pickleTime = time.Since(p0) - cw.ioTime
+		return werr
+	}, s.cpOpts())
+	if err != nil {
+		checkpoint.Abort(s.cfg.FS, cur.Version+1)
+		return reopenOld(err)
+	}
+	ioTime := time.Since(prepStart) - pickleTime
+
+	switchStart := time.Now()
+	lf, err := checkpoint.CreateLogFile(s.cfg.FS, next)
+	if err == nil {
+		err = lf.Close()
+	}
+	if err == nil {
+		err = checkpoint.CommitNewVersion(s.cfg.FS, next)
+	}
+	if err != nil {
+		checkpoint.Abort(s.cfg.FS, next)
+		return reopenOld(err)
+	}
+	if err := checkpoint.InstallVersion(s.cfg.FS); err != nil {
+		// newversion is durable: recovery would finish this switch, so
+		// reopening the old log would run on a superseded version.
+		s.poison(err)
+		return err
+	}
+	newState, err := checkpoint.Finish(s.cfg.FS, next, s.cpOpts())
+	if err != nil {
+		s.poison(err)
+		return err
+	}
+	checkpoint.ObserveSwitch(s.cpOpts(), cpStart)
+	switchTime := time.Since(switchStart)
 
 	newLog, err := wal.Open(s.cfg.FS, newState.LogName(), nextSeq, s.walOpts())
 	if err != nil {
@@ -789,20 +1134,60 @@ func (s *Store) Checkpoint() error {
 	s.logEntries = 0
 	s.mu.Unlock()
 
+	stall := time.Since(cpStart)
+	s.hist.cpStall.ObserveDuration(stall)
+	s.recordCheckpointStats(stall, pickleTime, ioTime, switchTime)
+	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Attrs: []obs.Attr{
+		obs.A("version", newState.Version),
+		obs.A("pickle", pickleTime.Round(time.Microsecond)),
+		obs.A("io", ioTime.Round(time.Microsecond)),
+		obs.A("switch", switchTime.Round(time.Microsecond)),
+	}})
+	return nil
+}
+
+// recordCheckpointStats folds one successful checkpoint's phase times into
+// the histograms, counters and sums.
+func (s *Store) recordCheckpointStats(stall, pickleTime, ioTime, switchTime time.Duration) {
 	s.hist.cpPickle.ObserveDuration(pickleTime)
 	s.hist.cpIO.ObserveDuration(ioTime)
+	s.hist.cpSwitch.ObserveDuration(switchTime)
 	s.ctr.checkpoints.Inc()
 	s.recordStats(func(st *Stats) {
 		st.Checkpoints++
 		st.CheckpointPickleTime += pickleTime
 		st.CheckpointIOTime += ioTime
+		st.CheckpointStallTime += stall
+		st.CheckpointSwitchTime += switchTime
 	})
-	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Attrs: []obs.Attr{
-		obs.A("version", newState.Version),
-		obs.A("pickle", pickleTime.Round(time.Microsecond)),
-		obs.A("io", ioTime.Round(time.Microsecond)),
-	}})
-	return nil
+}
+
+func (s *Store) poisonUnlessClosed(err error) {
+	if errors.Is(err, ErrClosed) || errors.Is(err, wal.ErrClosed) {
+		return
+	}
+	s.poison(err)
+}
+
+// cpBufPool recycles the buffer non-blocking checkpoints pickle the root
+// into: one root-sized buffer survives between checkpoints instead of being
+// reallocated (and page-faulted in) every time.
+var cpBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func putCPBuf(bufp *[]byte, buf []byte) {
+	*bufp = buf[:0]
+	cpBufPool.Put(bufp)
+}
+
+// sliceWriter appends everything written to an in-memory buffer. The
+// checkpoint pickler streams through it (the encoder flushes every few KB),
+// so the pickled root lands in one growing buffer without an extra
+// encoder-side copy.
+type sliceWriter struct{ buf []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
 }
 
 // countingWriter tracks time spent inside the underlying writer, to
@@ -821,7 +1206,9 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 // CheckpointEvery starts a background goroutine checkpointing at the given
 // interval — the paper's "simple scheme of making a checkpoint each night".
-// It stops when the store is closed.
+// It stops when the store is closed. Failures surface through
+// LastCheckpointErr, the core_checkpoint_errors counter and the
+// checkpoint.error tracer event.
 func (s *Store) CheckpointEvery(interval time.Duration) {
 	s.mu.Lock()
 	if s.stopTimer != nil || s.closed {
@@ -860,7 +1247,12 @@ func (s *Store) cpOpts() checkpoint.Options {
 // trail is read but enquiries proceed. The trail starts at the oldest log
 // still present; sequence continuity across files is verified.
 func (s *Store) History(fn func(seq uint64, u Update) error) error {
-	s.lock.Update()
+	// cpMu first (the same order Checkpoint uses): a background
+	// checkpoint renames and deletes log files; the trail must not be
+	// read mid-switch.
+	s.cpMu.Lock()
+	defer s.cpMu.Unlock()
+	s.lock.UpdateUrgent()
 	defer s.lock.UpdateUnlock()
 
 	s.mu.Lock()
@@ -930,6 +1322,8 @@ func (s *Store) Stats() Stats {
 	st.ApplyDist = s.hist.apply.Snapshot()
 	st.CheckpointPickleDist = s.hist.cpPickle.Snapshot()
 	st.CheckpointIODist = s.hist.cpIO.Snapshot()
+	st.CheckpointStallDist = s.hist.cpStall.Snapshot()
+	st.CheckpointSwitchDist = s.hist.cpSwitch.Snapshot()
 	s.mu.Lock()
 	if s.log != nil {
 		st.LogBytes = s.log.Size()
@@ -969,6 +1363,9 @@ func (s *Store) Close() error {
 		close(stop)
 	}
 	s.timerWG.Wait()
+	// Wait for an in-flight auto-checkpoint: it either completes its
+	// switch or aborts against the closed flag before the log goes away.
+	s.cpWG.Wait()
 	if log != nil {
 		return log.Close()
 	}

@@ -290,6 +290,20 @@ func TestCrashDuringCheckpoint(t *testing.T) {
 	}
 }
 
+// waitCheckpoints waits for the background auto-checkpoint goroutine to
+// record at least n checkpoints (auto-checkpoints run off the update path).
+func waitCheckpoints(t *testing.T, s *Store, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Checkpoints < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("auto checkpoint never fired (have %d, want %d; last err %v)",
+				s.Stats().Checkpoints, n, s.LastCheckpointErr())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 func TestAutoCheckpointByEntries(t *testing.T) {
 	fs := vfs.NewMem(1)
 	s := openKV(t, fs, func(c *Config) { c.MaxLogEntries = 10 })
@@ -297,9 +311,7 @@ func TestAutoCheckpointByEntries(t *testing.T) {
 	for i := 0; i < 25; i++ {
 		put(t, s, fmt.Sprintf("k%d", i), "v")
 	}
-	if st := s.Stats(); st.Checkpoints == 0 {
-		t.Error("no auto checkpoint after 25 updates with MaxLogEntries=10")
-	}
+	waitCheckpoints(t, s, 1)
 }
 
 func TestAutoCheckpointByBytes(t *testing.T) {
@@ -309,9 +321,7 @@ func TestAutoCheckpointByBytes(t *testing.T) {
 	for i := 0; i < 20; i++ {
 		put(t, s, fmt.Sprintf("key-%d", i), strings.Repeat("v", 50))
 	}
-	if st := s.Stats(); st.Checkpoints == 0 {
-		t.Error("no auto checkpoint by log size")
-	}
+	waitCheckpoints(t, s, 1)
 }
 
 func TestCheckpointEvery(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"smalldb/internal/vfs"
@@ -90,6 +91,13 @@ func TestSoakLifecycle(t *testing.T) {
 					}
 					oracle[key] = val
 				}
+				// Quiesce any in-flight background auto-checkpoint
+				// before touching fs.FailSync (the checkpoint
+				// goroutine syncs through it) — checkpointing clears
+				// only after the goroutine has fully finished.
+				for s.checkpointing.Load() {
+					runtime.Gosched()
+				}
 				fs.FailSync = nil
 
 				// Sometimes an explicit checkpoint.
@@ -97,7 +105,17 @@ func TestSoakLifecycle(t *testing.T) {
 					_ = s.Checkpoint() // may fail if poisoned; recovery below sorts it out
 				}
 
-				// End the cycle with a shutdown of some kind.
+				// End the cycle with a shutdown of some kind. A real
+				// hard kill takes the process's goroutines with it;
+				// here the store object would outlive the "kill" and
+				// its background auto-checkpoint could keep writing
+				// to the fs we are about to recover from, so quiesce
+				// again (the explicit checkpoint above may have
+				// retriggered one through its own updates — and the
+				// crash must not race a live checkpoint goroutine).
+				for s.checkpointing.Load() {
+					runtime.Gosched()
+				}
 				switch rng.Intn(3) {
 				case 0:
 					s.Close()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"smalldb/internal/core"
 	"smalldb/internal/nameserver"
 	"smalldb/internal/replica"
 	"smalldb/internal/rpc"
@@ -51,6 +52,15 @@ type Config struct {
 	// (default GOMAXPROCS). Points are independent, so sharding does not
 	// affect the result.
 	Shards int
+	// OverlapCheckpoints commits workload updates *inside* each
+	// checkpoint's mirror window: at every checkpoint stage (mirror
+	// open, file written, version flipped) the workload applies a couple
+	// more updates through the store's stage hook, so the crash sweep
+	// covers updates that are acknowledged while the whole-database
+	// write is in flight and durable only through the mirror protocol.
+	// A store configured for blocking checkpoints has no stages, so the
+	// hook simply never fires and the updates run after the switch.
+	OverlapCheckpoints bool
 	// UnsafeNoSync runs the workload without log syncs. In ModeStore
 	// this is a self-test: the harness must report lost acknowledged
 	// updates. In ModeReplica it exercises the paper's §4 story — the
@@ -223,6 +233,53 @@ func (r *runner) reference() (int64, error) {
 	return ffs.OpCount(), nil
 }
 
+// overlapPerStage is how many workload updates OverlapCheckpoints commits
+// at each checkpoint stage — six per checkpoint, spread across the mirror
+// window's three stages.
+const overlapPerStage = 2
+
+// workloadLoop drives the shared plan through apply/checkpoint callbacks:
+// the updates run in plan order through doOne (which records ack windows
+// and advances the shared index), with a checkpoint after every cpEvery-th
+// update. In overlap mode the checkpoint callback consumes further updates
+// mid-window via the store's stage hook, which is why the index lives in
+// the closure rather than a range loop.
+func (r *runner) workloadLoop(doOne func() error, checkpoint func() error, k *int) error {
+	for *k < len(r.plan.updates) {
+		if err := doOne(); err != nil {
+			return err
+		}
+		if r.cpEvery > 0 && *k%r.cpEvery == 0 {
+			if err := checkpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// overlapCheckpoint runs one checkpoint with the stage hook applying
+// overlapPerStage more workload updates at each stage of the mirror
+// window, then clears the hook. The first error — from the checkpoint
+// itself or from an in-window update — stops the workload.
+func overlapCheckpoint(st *core.Store, cp func() error, doOne func() error, remaining func() bool) error {
+	var hookErr error
+	st.SetCheckpointStageHook(func(core.CheckpointStage) {
+		for i := 0; i < overlapPerStage; i++ {
+			if hookErr != nil || !remaining() {
+				return
+			}
+			hookErr = doOne()
+		}
+	})
+	err := cp()
+	st.SetCheckpointStageHook(nil)
+	if err != nil {
+		return err
+	}
+	return hookErr
+}
+
 // --- store mode ---
 
 // runStoreWorkload replays the plan against one store on fs, interleaving
@@ -234,23 +291,29 @@ func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64
 		return err
 	}
 	st := srv.Store()
-	for k, u := range r.plan.updates {
+	k := 0
+	doOne := func() error {
 		if rec != nil {
 			rec.start(opCount())
 		}
-		if err := st.Apply(u); err != nil {
-			srv.Close()
+		if err := st.Apply(r.plan.updates[k]); err != nil {
 			return err
 		}
 		if rec != nil {
 			rec.ack(opCount())
 		}
-		if r.cpEvery > 0 && (k+1)%r.cpEvery == 0 {
-			if err := srv.Checkpoint(); err != nil {
-				srv.Close()
-				return err
-			}
+		k++
+		return nil
+	}
+	checkpoint := srv.Checkpoint
+	if r.cfg.OverlapCheckpoints {
+		checkpoint = func() error {
+			return overlapCheckpoint(st, srv.Checkpoint, doOne, func() bool { return k < len(r.plan.updates) })
 		}
+	}
+	if err := r.workloadLoop(doOne, checkpoint, &k); err != nil {
+		srv.Close()
+		return err
 	}
 	return srv.Close()
 }
@@ -349,6 +412,19 @@ func (p *peer) dial() *rpc.Client {
 	return rpc.NewClient(cc)
 }
 
+// dialNode stands up an RPC endpoint for node and returns a client
+// connected to it, so the peer can pull from the recovered node (the
+// reverse direction of anti-entropy).
+func dialNode(node *replica.Node) (*rpc.Client, func(), error) {
+	srv := rpc.NewServer()
+	if err := srv.Register("Replica", replica.NewService(node)); err != nil {
+		return nil, nil, err
+	}
+	cc, sc := net.Pipe()
+	go srv.ServeConn(sc)
+	return rpc.NewClient(cc), func() { srv.Close() }, nil
+}
+
 // runReplicaWorkload replays the plan through node "a" on fs, pushing each
 // committed update to the peer, checkpointing on the same schedule as
 // store mode.
@@ -358,23 +434,29 @@ func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount f
 		return err
 	}
 	node.AddPeer("b", p.dial())
-	for k, u := range r.plan.updates {
+	k := 0
+	doOne := func() error {
 		if rec != nil {
 			rec.start(opCount())
 		}
-		if err := node.Apply(u); err != nil {
-			node.Close()
+		if err := node.Apply(r.plan.updates[k]); err != nil {
 			return err
 		}
 		if rec != nil {
 			rec.ack(opCount())
 		}
-		if r.cpEvery > 0 && (k+1)%r.cpEvery == 0 {
-			if err := node.Checkpoint(); err != nil {
-				node.Close()
-				return err
-			}
+		k++
+		return nil
+	}
+	checkpoint := node.Checkpoint
+	if r.cfg.OverlapCheckpoints {
+		checkpoint = func() error {
+			return overlapCheckpoint(node.Store(), node.Checkpoint, doOne, func() bool { return k < len(r.plan.updates) })
 		}
+	}
+	if err := r.workloadLoop(doOne, checkpoint, &k); err != nil {
+		node.Close()
+		return err
 	}
 	return node.Close()
 }
@@ -417,24 +499,42 @@ func (r *runner) replicaPoint(n int64) []Violation {
 		return append(out, r.violation(n, "atomicity: recovered state diverges from the oracle prefix of %d updates (%v)", recovered, err))
 	}
 
-	// Catch-up: every acknowledged update was pushed to the peer before
-	// the crash, so one anti-entropy pull must restore the acknowledged
-	// prefix — even when the crashed node ran without local log syncs.
+	// Catch-up: one full anti-entropy round, both directions. The pull
+	// restores every acknowledged update from the peer — even when the
+	// crashed node ran without local log syncs — and the reverse pull
+	// hands the peer any update that committed locally inside the crash
+	// window but died before its push (with the mirror-window
+	// checkpoint, an update can be durable in the old log yet
+	// unacknowledged until the new log's sync, so recovery may surface
+	// acked+1 updates). Both replicas must then agree on the longer of
+	// the two prefixes.
+	upto := recovered
+	if acked > upto {
+		upto = acked
+	}
 	client := p.dial()
 	node.AddPeer("b", client)
 	if err := node.SyncWith(client); err != nil {
 		return append(out, r.violation(n, "catch-up: anti-entropy pull failed: %v", err))
 	}
-	if got, err := replicaFingerprint(node); err != nil || got != r.plan.fp[acked] {
-		return append(out, r.violation(n, "catch-up: state after anti-entropy diverges from the %d acknowledged updates (%v)", acked, err))
+	if got, err := replicaFingerprint(node); err != nil || got != r.plan.fp[upto] {
+		return append(out, r.violation(n, "catch-up: state after anti-entropy diverges from the oracle prefix of %d updates (acked %d, recovered %d: %v)", upto, acked, recovered, err))
 	}
-	if got, err := replicaFingerprint(p.node); err != nil || got != r.plan.fp[acked] {
-		return append(out, r.violation(n, "peer diverges from the %d acknowledged updates (%v)", acked, err))
+	back, closeBack, err := dialNode(node)
+	if err != nil {
+		return append(out, r.violation(n, "harness: serving recovered node: %v", err))
+	}
+	defer closeBack()
+	if err := p.node.SyncWith(back); err != nil {
+		return append(out, r.violation(n, "catch-up: reverse anti-entropy pull failed: %v", err))
+	}
+	if got, err := replicaFingerprint(p.node); err != nil || got != r.plan.fp[upto] {
+		return append(out, r.violation(n, "peer diverges from the oracle prefix of %d updates after anti-entropy (%v)", upto, err))
 	}
 
 	// Finish the workload on the recovered node; pushes propagate to the
 	// peer, and both replicas must land on the full oracle.
-	for k := acked; k < len(r.plan.updates); k++ {
+	for k := upto; k < len(r.plan.updates); k++ {
 		if err := node.Apply(r.plan.updates[k]); err != nil {
 			return append(out, r.violation(n, "catch-up: update %d rejected after recovery: %v", k, err))
 		}

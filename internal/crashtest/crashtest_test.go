@@ -99,6 +99,37 @@ func TestNoSyncReplicaRecovers(t *testing.T) {
 	}
 }
 
+// TestOverlapStoreTorture sweeps every crash point of a store-mode
+// workload that commits updates *inside* each checkpoint's mirror window —
+// the acceptance sweep for the non-blocking checkpoint: an update
+// acknowledged mid-window must survive a crash at any subsequent op,
+// whether recovery reads the old log, the new log, or either side of the
+// version flip.
+func TestOverlapStoreTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 15, Mode: ModeStore, OverlapCheckpoints: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points < 20 {
+		t.Fatalf("suspiciously few crash points: %d", res.Points)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestOverlapReplicaTorture runs the same mid-window sweep on a replica
+// node, where every acknowledged update was also pushed to the peer.
+func TestOverlapReplicaTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 2, Ops: 10, Mode: ModeReplica, OverlapCheckpoints: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
 // TestPointRangeAndStride: From/To/Stride select the requested subset.
 func TestPointRangeAndStride(t *testing.T) {
 	res, err := Run(Config{Seed: 3, Ops: 8, Mode: ModeStore, From: 4, To: 12, Stride: 2})

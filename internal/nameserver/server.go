@@ -28,6 +28,10 @@ type Config struct {
 	// ReplayWorkers passes through to the store's restart decode
 	// pipeline (0 = auto, 1 = sequential).
 	ReplayWorkers int
+	// BlockingCheckpoint passes through: checkpoints hold the update
+	// lock for their whole duration instead of the default
+	// mirror-window protocol.
+	BlockingCheckpoint bool
 	// Obs and Tracer pass through to the store's instrumentation.
 	Obs    *obs.Registry
 	Tracer obs.Tracer
@@ -52,6 +56,7 @@ func Open(cfg Config) (*Server, error) {
 		MaxLogEntries:         cfg.MaxLogEntries,
 		SkipDamagedLogEntries: cfg.SkipDamagedLogEntries,
 		ReplayWorkers:         cfg.ReplayWorkers,
+		BlockingCheckpoint:    cfg.BlockingCheckpoint,
 		Obs:                   cfg.Obs,
 		Tracer:                cfg.Tracer,
 	})

@@ -36,6 +36,10 @@ type Config struct {
 	// ReplayWorkers passes through to the store's restart decode
 	// pipeline (0 = auto, 1 = sequential).
 	ReplayWorkers int
+	// BlockingCheckpoint passes through: checkpoints hold the update
+	// lock for their whole duration instead of the default
+	// mirror-window protocol.
+	BlockingCheckpoint bool
 	// Obs and Tracer pass through to the store and additionally receive
 	// the replication metrics (replica_*) and the replica.push /
 	// replica.antientropy events.
@@ -88,15 +92,16 @@ func Open(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("replica: Config.Name is required")
 	}
 	st, err := core.Open(core.Config{
-		FS:            cfg.FS,
-		NewRoot:       NewRootWithCap(cfg.HistoryCap),
-		Retain:        cfg.Retain,
-		MaxLogBytes:   cfg.MaxLogBytes,
-		MaxLogEntries: cfg.MaxLogEntries,
-		UnsafeNoSync:  cfg.UnsafeNoSync,
-		ReplayWorkers: cfg.ReplayWorkers,
-		Obs:           cfg.Obs,
-		Tracer:        cfg.Tracer,
+		FS:                 cfg.FS,
+		NewRoot:            NewRootWithCap(cfg.HistoryCap),
+		Retain:             cfg.Retain,
+		MaxLogBytes:        cfg.MaxLogBytes,
+		MaxLogEntries:      cfg.MaxLogEntries,
+		UnsafeNoSync:       cfg.UnsafeNoSync,
+		ReplayWorkers:      cfg.ReplayWorkers,
+		BlockingCheckpoint: cfg.BlockingCheckpoint,
+		Obs:                cfg.Obs,
+		Tracer:             cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -39,6 +39,7 @@ type Lock struct {
 	updater   bool // the (single) holder of update or exclusive
 	exclusive bool // updater has upgraded
 	upgrading bool // updater is waiting for readers to drain
+	urgent    int  // UpdateUrgent waiters; plain Update defers to them
 
 	ins *instrumentation // nil when uninstrumented
 }
@@ -122,14 +123,14 @@ func (l *Lock) SharedUnlock() {
 }
 
 // Update acquires the lock in update mode: it excludes other updaters but
-// admits shared holders. Updates and checkpoints run under it.
+// admits shared holders. Updates run under it.
 func (l *Lock) Update() {
 	l.mu.Lock()
 	l.init()
-	if l.updater {
+	if l.updater || l.urgent > 0 {
 		ins := l.ins
 		start := time.Now()
-		for l.updater {
+		for l.updater || l.urgent > 0 {
 			l.cond.Wait()
 		}
 		if ins != nil {
@@ -138,6 +139,35 @@ func (l *Lock) Update() {
 			ins.record("update", ins.updateWait, ins.updateContended, time.Since(start))
 			return
 		}
+	}
+	l.updater = true
+	l.mu.Unlock()
+}
+
+// UpdateUrgent acquires update mode ahead of plain Update callers: while an
+// urgent waiter exists, Update calls queue instead of barging onto a freshly
+// released lock. Checkpoints acquire this way — a busy store commits updates
+// back-to-back, holding update mode for nearly all of wall time, and a
+// checkpoint that queued like any other updater could wait unboundedly for
+// the one scheduling race it needs to win. Urgent waiters still wait for the
+// current holder; they only skip the line, never preempt.
+func (l *Lock) UpdateUrgent() {
+	l.mu.Lock()
+	l.init()
+	if l.updater {
+		ins := l.ins
+		start := time.Now()
+		l.urgent++
+		for l.updater {
+			l.cond.Wait()
+		}
+		l.urgent--
+		l.updater = true
+		l.mu.Unlock()
+		if ins != nil {
+			ins.record("update", ins.updateWait, ins.updateContended, time.Since(start))
+		}
+		return
 	}
 	l.updater = true
 	l.mu.Unlock()

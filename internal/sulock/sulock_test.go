@@ -270,3 +270,41 @@ func TestStress(t *testing.T) {
 		t.Fatalf("final value %d", value[0])
 	}
 }
+
+// TestUpdateUrgentNotStarvedByTightLoop: an UpdateUrgent waiter (a
+// checkpoint) gets the lock after at most the holder's current critical
+// section, even against a loop that reacquires update mode the instant it
+// releases it — plain Update defers to urgent waiters instead of barging.
+func TestUpdateUrgentNotStarvedByTightLoop(t *testing.T) {
+	var l Lock
+	var stop atomic.Bool
+	loopDone := make(chan int)
+	l.Update() // the loop starts as the holder, so the waiter truly waits
+	go func() {
+		n := 0
+		for !stop.Load() {
+			if n > 0 {
+				l.Update()
+			}
+			n++
+			l.UpdateUnlock()
+		}
+		loopDone <- n
+	}()
+
+	acquired := make(chan struct{})
+	go func() {
+		l.UpdateUrgent()
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("urgent update waiter starved by a reacquiring loop")
+	}
+	stop.Store(true)
+	l.UpdateUnlock()
+	if n := <-loopDone; n == 0 {
+		t.Fatal("loop never ran")
+	}
+}

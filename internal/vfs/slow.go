@@ -1,0 +1,106 @@
+package vfs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Slow wraps an FS and throttles its writes and syncs, modelling a disk
+// that is much slower than memory — the regime the paper's non-blocking
+// checkpoint exists for ("the disk write takes a while"). Reads are never
+// delayed: enquiries against the in-memory database must stay fast even
+// while a checkpoint is dragging a large file through a slow device.
+//
+// The throttle is toggleable at runtime with SetDelay: benchmarks build
+// their initial state at full speed, then turn the brake on before
+// measuring. Delays apply concurrently — two files syncing at once each
+// pay their own delay — which is what lets a mirror-window checkpoint's
+// slow file write overlap with fast log commits on a separate file.
+type Slow struct {
+	fs FS
+	// syncDelay is the fixed cost of each Sync, in nanoseconds.
+	syncDelay atomic.Int64
+	// bytesPerSec rate-limits Write/WriteAt; 0 means unlimited.
+	bytesPerSec atomic.Int64
+	// owedNS accumulates pacing debt so that writes smaller than a
+	// sleep's practical resolution (~1ms of debt) pass through and the
+	// debt is paid by whoever next crosses the threshold — typically the
+	// bulk writer being modelled. Sleeping per small write would round a
+	// microsecond of pacing up to a millisecond of timer granularity.
+	owedNS atomic.Int64
+}
+
+// NewSlow wraps fs with an initially disabled throttle.
+func NewSlow(fs FS) *Slow { return &Slow{fs: fs} }
+
+// SetDelay configures the throttle: every Sync sleeps for syncDelay, and
+// writes are paced to bytesPerSec (0 = unpaced). Zero both to disable.
+// Safe to call while operations are in flight.
+func (s *Slow) SetDelay(syncDelay time.Duration, bytesPerSec int64) {
+	s.syncDelay.Store(int64(syncDelay))
+	s.bytesPerSec.Store(bytesPerSec)
+}
+
+func (s *Slow) writeDelay(n int) {
+	bps := s.bytesPerSec.Load()
+	if bps <= 0 || n <= 0 {
+		return
+	}
+	owed := s.owedNS.Add(int64(n) * int64(time.Second) / bps)
+	if owed >= int64(time.Millisecond) && s.owedNS.CompareAndSwap(owed, 0) {
+		time.Sleep(time.Duration(owed))
+	}
+}
+
+// Create implements FS.
+func (s *Slow) Create(name string) (File, error) { return s.wrap(s.fs.Create(name)) }
+
+// Open implements FS.
+func (s *Slow) Open(name string) (File, error) { return s.wrap(s.fs.Open(name)) }
+
+// Append implements FS.
+func (s *Slow) Append(name string) (File, error) { return s.wrap(s.fs.Append(name)) }
+
+// OpenRW implements FS.
+func (s *Slow) OpenRW(name string) (File, error) { return s.wrap(s.fs.OpenRW(name)) }
+
+// Rename implements FS.
+func (s *Slow) Rename(oldname, newname string) error { return s.fs.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (s *Slow) Remove(name string) error { return s.fs.Remove(name) }
+
+// List implements FS.
+func (s *Slow) List() ([]string, error) { return s.fs.List() }
+
+// Stat implements FS.
+func (s *Slow) Stat(name string) (int64, error) { return s.fs.Stat(name) }
+
+func (s *Slow) wrap(f File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{File: f, fs: s}, nil
+}
+
+type slowFile struct {
+	File
+	fs *Slow
+}
+
+func (f *slowFile) Write(p []byte) (int, error) {
+	f.fs.writeDelay(len(p))
+	return f.File.Write(p)
+}
+
+func (f *slowFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.writeDelay(len(p))
+	return f.File.WriteAt(p, off)
+}
+
+func (f *slowFile) Sync() error {
+	if d := f.fs.syncDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	return f.File.Sync()
+}

@@ -100,8 +100,28 @@ type Log struct {
 	pendingHi    uint64 // highest seq in pending
 	committed    uint64 // highest seq known durable
 	syncing      bool
+	holdFlush    bool  // blocks new flush leaders; see FinishMirror
 	err          error // sticky: a failed log write poisons the log
 	closed       bool
+	mirror       mirrorState
+}
+
+// mirrorState is the mirror window a non-blocking checkpoint opens: every
+// frame appended while the window is open still commits durably to the
+// current (old) file — which remains the commit point — and is additionally
+// buffered for the checkpoint's new log file. Once the new file is attached,
+// each flush writes and syncs BOTH files before acknowledging, so at every
+// instant after a successful SyncMirror the new file durably holds every
+// acknowledged entry of the window; the version flip is then safe at any
+// point and FinishMirror retargets the log with a lock-only critical
+// section.
+type mirrorState struct {
+	active   bool
+	f        vfs.File // nil until AttachMirrorFile
+	buf      []byte   // frames not yet written to f
+	inflight int64    // bytes taken by the flush currently writing f
+	written  int64    // bytes durably written to f
+	entries  int64    // frames appended during the window
 }
 
 // Create creates (or truncates) the named log file and returns an empty Log
@@ -209,6 +229,10 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error) {
 	was := len(l.pending)
 	l.pending = appendFrame(l.pending, seq, payload)
 	frameLen := len(l.pending) - was
+	if l.mirror.active {
+		l.mirror.buf = append(l.mirror.buf, l.pending[was:]...)
+		l.mirror.entries++
+	}
 	l.pendingCount++
 	l.pendingHi = seq
 	l.size += int64(frameLen)
@@ -235,7 +259,7 @@ func (l *Log) waitDurable(seq uint64) error {
 		if l.committed >= seq {
 			return nil
 		}
-		if !l.syncing && len(l.pending) > 0 {
+		if !l.syncing && !l.holdFlush && len(l.pending) > 0 {
 			l.syncing = true
 			err := l.flushLocked()
 			l.syncing = false
@@ -253,7 +277,10 @@ func (l *Log) waitDurable(seq uint64) error {
 }
 
 // flushLocked writes and syncs all pending frames. Called with l.mu held;
-// releases it around the I/O.
+// releases it around the I/O. While a mirror file is attached, the mirrored
+// frames are written and synced to it too, and no entry is acknowledged
+// (committed advanced) until both files are durable — the invariant the
+// non-blocking checkpoint's version flip depends on.
 func (l *Log) flushLocked() error {
 	buf := l.pending
 	hi := l.pendingHi
@@ -265,16 +292,32 @@ func (l *Log) flushLocked() error {
 	l.pending = l.spare[:0]
 	l.spare = nil
 	l.pendingCount = 0
-	if len(buf) == 0 {
+	var mbuf []byte
+	var mf vfs.File
+	if l.mirror.f != nil && len(l.mirror.buf) > 0 {
+		mf = l.mirror.f
+		mbuf = l.mirror.buf
+		l.mirror.buf = nil
+		l.mirror.inflight = int64(len(mbuf))
+	}
+	if len(buf) == 0 && mbuf == nil {
 		l.spare = buf
 		return nil
 	}
 	l.mu.Unlock()
 	start := time.Now()
-	_, werr := l.f.Write(buf)
-	var serr error
-	if werr == nil && !l.opts.NoSync {
-		serr = l.f.Sync()
+	var werr, serr error
+	if len(buf) > 0 {
+		_, werr = l.f.Write(buf)
+		if werr == nil && !l.opts.NoSync {
+			serr = l.f.Sync()
+		}
+	}
+	var merr error
+	if werr == nil && serr == nil && mf != nil {
+		if _, merr = mf.Write(mbuf); merr == nil && !l.opts.NoSync {
+			merr = mf.Sync()
+		}
 	}
 	dur := time.Since(start)
 	l.m.flushes.Inc()
@@ -285,6 +328,9 @@ func (l *Log) flushLocked() error {
 		ferr := werr
 		if ferr == nil {
 			ferr = serr
+		}
+		if ferr == nil {
+			ferr = merr
 		}
 		l.opts.Tracer.Emit(obs.Event{Name: "log.flush", Dur: dur, Err: ferr, Attrs: []obs.Attr{
 			obs.A("bytes", len(buf)), obs.A("entries", entries), obs.A("hi_seq", hi),
@@ -297,11 +343,17 @@ func (l *Log) flushLocked() error {
 	if l.spare == nil && cap(buf) <= maxSpareFlushBuf {
 		l.spare = buf[:0]
 	}
+	if mf != nil {
+		l.mirror.inflight = 0
+		if merr == nil {
+			l.mirror.written += int64(len(mbuf))
+		}
+	}
 	// Wake every waiter regardless of outcome: they either see their
 	// sequence committed or the poisoned log.
 	defer l.cond.Broadcast()
-	if werr == nil && serr == nil {
-		if hi > l.committed {
+	if werr == nil && serr == nil && merr == nil {
+		if len(buf) > 0 && hi > l.committed {
 			l.committed = hi
 		}
 		return nil
@@ -309,6 +361,9 @@ func (l *Log) flushLocked() error {
 	err := werr
 	if err == nil {
 		err = serr
+	}
+	if err == nil {
+		err = merr
 	}
 	l.err = fmt.Errorf("wal: append failed, log poisoned: %w", err)
 	return l.err
@@ -337,6 +392,151 @@ func (l *Log) Flush() error {
 	l.syncing = false
 	l.cond.Broadcast()
 	return err
+}
+
+// BeginMirror opens the mirror window. The caller must have quiesced
+// appends (the store holds the update lock) and flushed the log: every
+// frame appended from here on is buffered for the checkpoint's new log
+// file in addition to committing durably to the current one.
+func (l *Log) BeginMirror() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.mirror.active {
+		return errors.New("wal: mirror window already open")
+	}
+	if len(l.pending) > 0 || l.syncing {
+		return errors.New("wal: BeginMirror requires a flushed log")
+	}
+	l.mirror = mirrorState{active: true}
+	return nil
+}
+
+// AttachMirrorFile hands the mirror window the new log file (created and
+// synced by the checkpoint protocol). Until SyncMirror returns, frames
+// buffered since BeginMirror may still be waiting; afterwards every flush
+// keeps the file durably caught up before acknowledging.
+func (l *Log) AttachMirrorFile(f vfs.File) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.mirror.active {
+		return errors.New("wal: AttachMirrorFile without BeginMirror")
+	}
+	if l.mirror.f != nil {
+		return errors.New("wal: mirror file already attached")
+	}
+	l.mirror.f = f
+	return nil
+}
+
+// SyncMirror drains the mirror backlog: when it returns nil, every entry
+// acknowledged so far with a sequence inside the window is durably in the
+// mirror file — and the dual-write rule in flushLocked keeps that invariant
+// for every later acknowledgement, so the checkpoint may flip the version
+// at any moment after this.
+func (l *Log) SyncMirror() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if !l.mirror.active || l.mirror.f == nil {
+		return errors.New("wal: SyncMirror without attached mirror")
+	}
+	// Wait for progress, not for quiet: under a steady append stream the
+	// log is flushing almost continuously and a wait for !syncing could
+	// starve forever — but every one of those flushes drains the mirror
+	// backlog too, so it is enough to watch mirror.written reach the
+	// bytes appended so far. Frames appended after this point are the
+	// dual-write rule's problem, not ours.
+	target := l.mirror.written + l.mirror.inflight + int64(len(l.mirror.buf))
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.mirror.written >= target {
+			return nil
+		}
+		if !l.syncing && !l.holdFlush {
+			l.syncing = true
+			err := l.flushLocked()
+			l.syncing = false
+			l.cond.Broadcast()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// FinishMirror ends the mirror window by retargeting the log to the mirror
+// file: the same Log keeps its sequence numbering and pending frames but
+// appends to (and syncs) the new file from now on, and the old file handle
+// is closed. The caller must have called SyncMirror and flipped the version
+// first. It reports how many entries were appended during the window.
+func (l *Log) FinishMirror(newName string) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	// Block new flush leaders while we wait for the in-flight one: under a
+	// steady append stream the log is otherwise flushing back-to-back and
+	// this wait could starve. Parked appenders resume on the broadcast.
+	l.holdFlush = true
+	defer func() {
+		l.holdFlush = false
+		l.cond.Broadcast()
+	}()
+	for l.syncing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	if !l.mirror.active || l.mirror.f == nil {
+		return 0, errors.New("wal: FinishMirror without attached mirror")
+	}
+	old := l.f
+	l.f = l.mirror.f
+	l.name = newName
+	// Since the last drain (SyncMirror at the latest), pending and
+	// mirror.buf have held the same frames — flushes empty them together
+	// and appends extend them together — so the unwritten tail and its
+	// counters carry over unchanged.
+	l.pending = l.mirror.buf
+	l.size = l.mirror.written + int64(len(l.pending))
+	entries := l.mirror.entries
+	l.mirror = mirrorState{}
+	l.spare = nil
+	_ = old.Close() // the superseded version's log; best-effort
+	return entries, nil
+}
+
+// / AbortMirror ends the mirror window without switching files: buffered
+// mirror frames are discarded and the mirror file, if attached, is closed.
+// The log keeps appending to its current file. Safe to call in any state.
+func (l *Log) AbortMirror() {
+	l.mu.Lock()
+	l.holdFlush = true
+	for l.syncing {
+		l.cond.Wait()
+	}
+	l.holdFlush = false
+	f := l.mirror.f
+	l.mirror = mirrorState{}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if f != nil {
+		_ = f.Close()
+	}
 }
 
 // Close closes the log file. Pending unsynced frames are flushed first,
