@@ -6,8 +6,18 @@
 //	crashtest -seed 1 -ops 50              # full sweep, store and replica modes
 //	crashtest -seed 1 -mode store -from 37 -to 37   # replay one reported point
 //
-// A violation prints as a replayable (seed, crash-point) pair; the exit
-// status is 1 when any invariant broke, 2 on a setup error.
+// With -net, it runs the partition sweep instead: for every update index,
+// a two-node replica pair is partitioned at that index, the acking node
+// keeps committing through the partition (optionally power-failing at the
+// heal point with -net-crash), the partition heals, and anti-entropy must
+// converge both replicas with no acknowledged update lost — all under a
+// lossy, jittery network profile (-drop, -jitter).
+//
+//	crashtest -net -seed 1 -ops 50                  # full partition sweep
+//	crashtest -net -net-crash -from 12 -to 12       # replay one point, with crash
+//
+// A violation prints as a replayable (seed, point) pair; the exit status is
+// 1 when any invariant broke, 2 on a setup error.
 package main
 
 import (
@@ -17,25 +27,37 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"smalldb/internal/crashtest"
+	"smalldb/internal/netsim"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "workload seed; (seed, crash point) replays any failure")
+		seed    = flag.Int64("seed", 1, "workload seed; (seed, point) replays any failure")
 		ops     = flag.Int("ops", 50, "number of updates in the workload")
 		cpEvery = flag.Int("cp-every", 0, "checkpoint after every k updates (0 = ops/4+1, negative = never)")
 		mode    = flag.String("mode", "store,replica", "comma-separated modes: store, replica")
-		from    = flag.Int64("from", 0, "first crash point to replay")
-		to      = flag.Int64("to", -1, "last crash point to replay (<= 0 = through the final op)")
-		stride  = flag.Int64("stride", 1, "replay every stride-th crash point")
-		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "crash points replayed in parallel")
+		from    = flag.Int64("from", 0, "first point to replay")
+		to      = flag.Int64("to", -1, "last point to replay (<= 0 = through the final op)")
+		stride  = flag.Int64("stride", 1, "replay every stride-th point")
+		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "points replayed in parallel")
 		overlap = flag.Bool("overlap", false, "commit updates inside each checkpoint's mirror window (sweeps the non-blocking checkpoint protocol)")
 		nosync  = flag.Bool("nosync", false, "run without log syncs (store mode must then report violations; replica mode must still recover via its peer)")
 		verbose = flag.Bool("v", false, "log progress")
+
+		net      = flag.Bool("net", false, "run the partition sweep instead of the crash-point sweep")
+		netCrash = flag.Bool("net-crash", false, "with -net: also power-fail the acking node at the heal point")
+		window   = flag.Int("window", 5, "with -net: updates committed during each partition")
+		drop     = flag.Float64("drop", 0.05, "with -net: per-message drop probability")
+		jitter   = flag.Duration("jitter", 200*time.Microsecond, "with -net: max added delivery delay")
 	)
 	flag.Parse()
+
+	if *net {
+		os.Exit(runNet(*seed, *ops, *window, int(*from), int(*to), int(*stride), *shards, *netCrash, *drop, *jitter, *verbose))
+	}
 
 	violations := 0
 	for _, m := range strings.Split(*mode, ",") {
@@ -81,4 +103,46 @@ func main() {
 	if violations > 0 {
 		os.Exit(1)
 	}
+}
+
+func runNet(seed int64, ops, window, from, to, stride, shards int, crash bool, drop float64, jitter time.Duration, verbose bool) int {
+	cfg := crashtest.NetConfig{
+		Seed:   seed,
+		Ops:    ops,
+		Window: window,
+		From:   from,
+		To:     to,
+		Stride: stride,
+		Shards: shards,
+		Crash:  crash,
+		Profile: netsim.Profile{
+			DropProb:     drop,
+			DelayProb:    0.2,
+			MaxDelay:     jitter,
+			DialFailProb: drop,
+		},
+	}
+	if verbose {
+		cfg.Logf = log.Printf
+	}
+	res, err := crashtest.RunNet(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crashtest:", err)
+		return 2
+	}
+	fmt.Printf("mode=net     seed=%d ops=%d window=%d crash=%v partition-points=%d violations=%d\n",
+		res.Seed, res.Ops, res.Window, crash, res.Points, len(res.Violations))
+	extra := ""
+	if crash {
+		extra = " -net-crash"
+	}
+	for _, v := range res.Violations {
+		fmt.Printf("VIOLATION %s\n", v)
+		fmt.Printf("  replay: go run ./cmd/crashtest -net -seed %d -ops %d -window %d -from %d -to %d%s\n",
+			res.Seed, res.Ops, res.Window, v.Point, v.Point, extra)
+	}
+	if len(res.Violations) > 0 {
+		return 1
+	}
+	return 0
 }

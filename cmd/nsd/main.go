@@ -99,7 +99,7 @@ func main() {
 		if err := srv.Register("Replica", replica.NewService(node)); err != nil {
 			log.Fatalf("nsd: %v", err)
 		}
-		if err := srv.Register("NS", replicaNS{node}); err != nil {
+		if err := srv.Register("NS", replica.NewNSService(node)); err != nil {
 			log.Fatalf("nsd: %v", err)
 		}
 		for _, spec := range splitPeers(*peers) {
@@ -107,7 +107,12 @@ func main() {
 			if !ok {
 				log.Fatalf("nsd: bad -peers entry %q (want name=addr)", spec)
 			}
-			go connectPeer(node, pname, addr)
+			// Lazy reconnecting client: the peer need not be up yet, and
+			// a peer restart just redials on the next push or
+			// anti-entropy round.
+			client := rpc.DialRetry(addr)
+			client.Instrument(reg)
+			node.AddPeer(pname, client)
 		}
 		node.AntiEntropyEvery(*antiEntropy)
 		closer = node
@@ -151,38 +156,3 @@ func splitPeers(s string) []string {
 	return strings.Split(s, ",")
 }
 
-// connectPeer dials a peer with retry and registers it on the node.
-func connectPeer(node *replica.Node, name, addr string) {
-	for {
-		client, err := rpc.Dial(addr)
-		if err == nil {
-			node.AddPeer(name, client)
-			log.Printf("nsd: connected to peer %s at %s", name, addr)
-			return
-		}
-		time.Sleep(2 * time.Second)
-	}
-}
-
-// replicaNS adapts a replica node to the NS RPC service so clients can use
-// the same nsctl against replicated and unreplicated daemons.
-type replicaNS struct {
-	node *replica.Node
-}
-
-// Lookup serves the remote enquiry.
-func (r replicaNS) Lookup(args *nameserver.LookupArgs, reply *nameserver.LookupReply) error {
-	v, err := r.node.Lookup(args.Name)
-	reply.Value = v
-	return err
-}
-
-// Set serves the remote update.
-func (r replicaNS) Set(args *nameserver.SetArgs, reply *nameserver.SetReply) error {
-	return r.node.Set(args.Name, args.Value)
-}
-
-// Delete serves the remote delete.
-func (r replicaNS) Delete(args *nameserver.DeleteArgs, reply *nameserver.DeleteReply) error {
-	return r.node.Delete(args.Name)
-}

@@ -32,8 +32,11 @@ import (
 	"smalldb/internal/bench"
 	"smalldb/internal/disk"
 	"smalldb/internal/nameserver"
+	"smalldb/internal/netsim"
 	"smalldb/internal/obs"
 	"smalldb/internal/pickle"
+	"smalldb/internal/replica"
+	"smalldb/internal/rpc"
 	"smalldb/internal/vfs"
 	"smalldb/internal/wal"
 )
@@ -324,6 +327,134 @@ func checkpointStallJSON(seed int64, quick bool) (map[string]any, error) {
 	}, nil
 }
 
+// networkResilienceJSON runs a 2-replica workload through a hostile netsim
+// link — 10% message drop, 10% flaky dials, up to 20ms added delay — with
+// the client driving the NS service on replica "a" via CallRetry. Every
+// update must succeed despite the weather (retries absorb all faults), the
+// replicas must converge once anti-entropy runs, and the snapshot records
+// how hard the resilience machinery worked (rpc_retries, rpc_reconnects,
+// netsim drop counts).
+func networkResilienceJSON(seed int64, quick bool) (map[string]any, error) {
+	updates := 1000
+	if quick {
+		updates = 250
+	}
+	profile := netsim.Profile{
+		DropProb:     0.10,
+		DelayProb:    0.20,
+		MaxDelay:     20 * time.Millisecond,
+		DialFailProb: 0.10,
+	}
+	reg := obs.NewRegistry()
+	nw := netsim.New(seed, netsim.Options{Profile: profile, Obs: reg})
+	defer nw.Close()
+
+	peerPolicy := rpc.RetryPolicy{Budget: 5 * time.Second, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, PerTry: time.Second}
+	open := func(name string) (*replica.Node, *rpc.Server, *netsim.Listener, error) {
+		node, err := replica.Open(replica.Config{Name: name, FS: vfs.NewMem(seed), HistoryCap: updates + 10, PushPolicy: peerPolicy, SyncPolicy: peerPolicy})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		srv := rpc.NewServer()
+		if err := srv.Register("Replica", replica.NewService(node)); err != nil {
+			node.Close()
+			return nil, nil, nil, err
+		}
+		if name == "a" {
+			if err := srv.Register("NS", replica.NewNSService(node)); err != nil {
+				node.Close()
+				return nil, nil, nil, err
+			}
+		}
+		l, err := nw.Listen(name)
+		if err != nil {
+			srv.Close()
+			node.Close()
+			return nil, nil, nil, err
+		}
+		go func() {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(conn)
+			}
+		}()
+		return node, srv, l, nil
+	}
+	a, aSrv, _, err := open("a")
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	defer aSrv.Close()
+	b, bSrv, _, err := open("b")
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	defer bSrv.Close()
+	ab := rpc.NewClientDialer(nw.Dialer("a", "b"))
+	ab.Instrument(reg)
+	a.AddPeer("b", ab)
+	ba := rpc.NewClientDialer(nw.Dialer("b", "a"))
+	ba.Instrument(reg)
+
+	// The client reaches replica "a" over the same hostile link.
+	cli := rpc.NewClientDialer(nw.Dialer("client", "a"))
+	cli.Instrument(reg)
+	defer cli.Close()
+	policy := rpc.RetryPolicy{Budget: 10 * time.Second, BaseDelay: time.Millisecond, MaxDelay: 100 * time.Millisecond, PerTry: 2 * time.Second}
+
+	clientErrors := 0
+	start := time.Now()
+	for i := 0; i < updates; i++ {
+		args := &nameserver.SetArgs{Name: fmt.Sprintf("net/bench/e%d", i), Value: fmt.Sprintf("v%d", i)}
+		if err := cli.CallRetry("NS.Set", args, nil, policy); err != nil {
+			clientErrors++
+		}
+	}
+	elapsed := time.Since(start)
+
+	// Clear weather for the convergence check; anti-entropy owes the rest.
+	nw.SetProfile(netsim.Profile{})
+	converged := false
+	for round := 0; round < 20; round++ {
+		if err := b.SyncWith(ba); err != nil {
+			continue
+		}
+		va, erra := a.Vector()
+		vb, errb := b.Vector()
+		if erra == nil && errb == nil && va["a"] == vb["a"] && va["a"] == uint64(updates) {
+			converged = true
+			break
+		}
+	}
+
+	snap := reg.Snapshot()
+	stat := func(name string) any {
+		if v, ok := snap[name]; ok {
+			return v
+		}
+		return uint64(0)
+	}
+	return map[string]any{
+		"updates":        updates,
+		"elapsed_ns":     elapsed.Nanoseconds(),
+		"drop_prob":      profile.DropProb,
+		"max_delay_ns":   profile.MaxDelay.Nanoseconds(),
+		"client_errors":  clientErrors,
+		"converged":      converged,
+		"rpc_retries":    stat("rpc_retries"),
+		"rpc_reconnects": stat("rpc_reconnects"),
+		"rpc_timeouts":   stat("rpc_timeouts"),
+		"netsim_drops":   stat("netsim_drops"),
+		"netsim_delays":  stat("netsim_delays"),
+		"netsim_dials":   stat("netsim_dials"),
+	}, nil
+}
+
 // writeMetricsJSON runs the fixed metrics workload — an instrumented
 // in-memory store under a mixed update/enquiry load — and writes the
 // resulting snapshot.
@@ -360,6 +491,10 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 	if err != nil {
 		return err
 	}
+	netres, err := networkResilienceJSON(seed, quick)
+	if err != nil {
+		return err
+	}
 
 	out := map[string]any{
 		"schema":     "smalldb-bench-metrics/v1",
@@ -374,9 +509,10 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 			"checkpoint_io":     phase(st.CheckpointIODist),
 			"checkpoint_switch": phase(st.CheckpointSwitchDist),
 		},
-		"checkpoint_stall": stall,
-		"micro":            micros,
-		"metrics":          reg.Snapshot(),
+		"checkpoint_stall":   stall,
+		"micro":              micros,
+		"network_resilience": netres,
+		"metrics":            reg.Snapshot(),
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -1,0 +1,675 @@
+// Package netsim is a deterministic, seeded fault-injecting network for
+// torture-testing the RPC and replication layers — the network analogue of
+// internal/vfs/faultfs. The paper's answer to hard errors is replication
+// (§4, §7): an update is acknowledged once one replica commits it and
+// anti-entropy spreads it to the rest, which only works if the transport
+// underneath tolerates the network actually failing. netsim makes those
+// failures reproducible.
+//
+// A Network is a set of named endpoints connected by in-memory duplex
+// streams. Every fault decision — the fate of a dial attempt, the fate of
+// each written message — is assigned a monotonically increasing decision
+// index and drawn from one seeded PRNG, so a workload that drives the
+// network sequentially gets an identical fault schedule on every run with
+// the same seed: any failure is replayable from (seed, index), exactly like
+// crashtest's (seed, crash point). The decision trace records what happened
+// at each index.
+//
+// Faults, per the configured Profile or forced via FailAt:
+//
+//   - drop: a written message is lost. The streams are TCP-like (ordered,
+//     reliable-or-dead), so a lost segment kills the connection — both ends
+//     see a reset, the way a real kernel gives up after retransmits.
+//   - delay: delivery of a message is delayed by a seeded jitter.
+//   - blackhole: a written message is silently discarded but the connection
+//     stays up — the sender learns nothing until its own timeout fires.
+//   - dial failure: a connect attempt is refused.
+//   - duplicate dial: a connect attempt delivers a second, ghost connection
+//     to the listener (a retransmitted SYN the server also accepted); the
+//     ghost carries no data and the server must tolerate it.
+//   - hard close: Kill resets a connection at any moment.
+//
+// Partitions cut links between named endpoints: Partition(a, b) is
+// symmetric (existing connections are reset, dials refused both ways) and
+// PartitionOneWay(from, to) is asymmetric (messages from→to vanish, dials
+// from→to are refused, the reverse direction still works). Heal restores a
+// link and HealAll the whole network.
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"smalldb/internal/obs"
+)
+
+// Errors returned by connections and dials. All of them mean "the network
+// failed you", which a resilient client treats as retryable.
+var (
+	// ErrReset marks a connection killed by a drop, a partition, Kill, or
+	// Network.Close.
+	ErrReset = errors.New("netsim: connection reset")
+	// ErrRefused marks a dial rejected by a fault or a partition.
+	ErrRefused = errors.New("netsim: connection refused")
+	// ErrClosed marks use of a closed connection, listener, or network.
+	ErrClosed = errors.New("netsim: closed")
+)
+
+// Profile sets the background fault probabilities. The zero Profile is a
+// perfect network; faults then come only from partitions, FailAt, and Kill.
+type Profile struct {
+	// DropProb is the per-message probability that the message is lost and
+	// the connection reset.
+	DropProb float64
+	// DelayProb is the per-message probability of a delivery delay drawn
+	// uniformly from (0, MaxDelay].
+	DelayProb float64
+	// MaxDelay bounds the delivery jitter; 0 disables delays even when
+	// DelayProb is set.
+	MaxDelay time.Duration
+	// BlackholeProb is the per-message probability that the message is
+	// silently discarded with the connection left up.
+	BlackholeProb float64
+	// DialFailProb is the probability that a dial attempt is refused.
+	DialFailProb float64
+	// DupDialProb is the probability that a successful dial also delivers
+	// a ghost connection to the listener.
+	DupDialProb float64
+}
+
+// Event is one traced fault decision.
+type Event struct {
+	Index int64
+	// Kind is the outcome: "deliver", "drop", "delay", "blackhole",
+	// "cut", "dial", "dial-fail", "dial-dup", "kill", "partition", "heal".
+	Kind     string
+	From, To string
+	// Delay is set for "delay" events.
+	Delay time.Duration
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d %s %s->%s", e.Index, e.Kind, e.From, e.To)
+	if e.Delay > 0 {
+		s += fmt.Sprintf(" (%v)", e.Delay)
+	}
+	return s
+}
+
+// Options configures a Network.
+type Options struct {
+	Profile Profile
+	// TraceCap bounds the decision trace (a ring of the most recent
+	// events); 0 keeps the default of 4096, negative keeps no trace.
+	TraceCap int
+	// Obs, when non-nil, receives the netsim_* counters.
+	Obs *obs.Registry
+}
+
+// DefaultTraceCap is the trace ring size when Options.TraceCap is 0.
+const DefaultTraceCap = 4096
+
+// Network is one simulated network: named listeners, faulty links, one
+// seeded PRNG driving every fault decision.
+type Network struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	profile   Profile
+	next      int64 // decision index the next fault decision will get
+	failAt    map[int64]bool
+	listeners map[string]*Listener
+	conns     map[*Conn]struct{}
+	cuts      map[string]cut // key "from\x00to", one per direction
+	closed    bool
+
+	trace    []Event
+	traceCap int
+	traceOff int
+
+	msgs      *obs.Counter
+	drops     *obs.Counter
+	delays    *obs.Counter
+	blackhole *obs.Counter
+	dials     *obs.Counter
+	dialFails *obs.Counter
+	kills     *obs.Counter
+}
+
+type cut struct{ active bool }
+
+// New returns a Network whose fault schedule is fully determined by seed.
+func New(seed int64, opts Options) *Network {
+	cap := opts.TraceCap
+	if cap == 0 {
+		cap = DefaultTraceCap
+	}
+	if cap < 0 {
+		cap = 0
+	}
+	n := &Network{
+		rng:       rand.New(rand.NewSource(seed)),
+		profile:   opts.Profile,
+		failAt:    make(map[int64]bool),
+		listeners: make(map[string]*Listener),
+		conns:     make(map[*Conn]struct{}),
+		cuts:      make(map[string]cut),
+		traceCap:  cap,
+	}
+	reg := opts.Obs
+	n.msgs = reg.Counter("netsim_messages")
+	n.drops = reg.Counter("netsim_drops")
+	n.delays = reg.Counter("netsim_delays")
+	n.blackhole = reg.Counter("netsim_blackholed")
+	n.dials = reg.Counter("netsim_dials")
+	n.dialFails = reg.Counter("netsim_dial_failures")
+	n.kills = reg.Counter("netsim_conns_killed")
+	return n
+}
+
+// SetProfile replaces the background fault profile (e.g. to run a healthy
+// warm-up phase before turning the weather bad).
+func (n *Network) SetProfile(p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.profile = p
+}
+
+// FailAt forces the decision at index idx to fail (a dial is refused, a
+// message is dropped), regardless of the profile — the hook for replaying a
+// specific schedule or minimizing one.
+func (n *Network) FailAt(idx int64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failAt[idx] = true
+}
+
+// OpCount reports how many fault decisions have been indexed so far.
+func (n *Network) OpCount() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.next
+}
+
+// Trace returns the recorded decision tail, oldest first.
+func (n *Network) Trace() []Event {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Event, 0, len(n.trace))
+	out = append(out, n.trace[n.traceOff:]...)
+	out = append(out, n.trace[:n.traceOff]...)
+	return out
+}
+
+func (n *Network) record(e Event) {
+	if n.traceCap <= 0 {
+		return
+	}
+	if len(n.trace) < n.traceCap {
+		n.trace = append(n.trace, e)
+		return
+	}
+	n.trace[n.traceOff] = e
+	n.traceOff = (n.traceOff + 1) % n.traceCap
+}
+
+// note records an un-indexed control event (partition, heal, kill).
+func (n *Network) note(kind, from, to string) {
+	n.record(Event{Index: -1, Kind: kind, From: from, To: to})
+}
+
+func cutKey(from, to string) string { return from + "\x00" + to }
+
+// Partition cuts the a↔b link symmetrically: existing connections between
+// them are reset and dials refused in both directions until Heal.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	n.cuts[cutKey(a, b)] = cut{active: true}
+	n.cuts[cutKey(b, a)] = cut{active: true}
+	n.note("partition", a, b)
+	victims := n.connsOnLinkLocked(a, b)
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.kill()
+	}
+}
+
+// PartitionOneWay makes the from→to direction lossy: messages vanish
+// (blackhole) and dials from→to are refused, while to→from still works.
+// Existing connections stay up, starving rather than dying.
+func (n *Network) PartitionOneWay(from, to string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cuts[cutKey(from, to)] = cut{active: true}
+	n.note("partition-oneway", from, to)
+}
+
+// Heal removes any cut between a and b, in both directions.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cuts, cutKey(a, b))
+	delete(n.cuts, cutKey(b, a))
+	n.note("heal", a, b)
+}
+
+// HealAll removes every cut.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cuts = make(map[string]cut)
+	n.note("heal", "*", "*")
+}
+
+func (n *Network) cutLocked(from, to string) bool {
+	return n.cuts[cutKey(from, to)].active
+}
+
+func (n *Network) connsOnLinkLocked(a, b string) []*Conn {
+	var out []*Conn
+	for c := range n.conns {
+		if (c.local == a && c.remote == b) || (c.local == b && c.remote == a) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Close resets every connection, closes every listener, and refuses all
+// further dials.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	var conns []*Conn
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	var ls []*Listener
+	for _, l := range n.listeners {
+		ls = append(ls, l)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.kill()
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+}
+
+// fate is the outcome of one decision.
+type fate int
+
+const (
+	fateDeliver fate = iota
+	fateDrop
+	fateDelay
+	fateBlackhole
+	fateCut
+)
+
+// decide indexes one message decision on the from→to direction and rolls
+// its fate. Exactly one PRNG draw is consumed per decision (plus one for
+// the delay duration), so the schedule depends only on the seed and the
+// decision order.
+func (n *Network) decide(from, to string) (fate, time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx := n.next
+	n.next++
+	n.msgs.Inc()
+	if n.cutLocked(from, to) {
+		// Symmetric cuts kill connections eagerly, so a cut seen here is
+		// (or acts as) the asymmetric kind: the message just vanishes.
+		n.record(Event{Index: idx, Kind: "cut", From: from, To: to})
+		n.blackhole.Inc()
+		return fateCut, 0
+	}
+	roll := n.rng.Float64()
+	forced := n.failAt[idx]
+	if forced {
+		delete(n.failAt, idx)
+	}
+	p := n.profile
+	switch {
+	case forced || roll < p.DropProb:
+		n.record(Event{Index: idx, Kind: "drop", From: from, To: to})
+		n.drops.Inc()
+		return fateDrop, 0
+	case roll < p.DropProb+p.BlackholeProb:
+		n.record(Event{Index: idx, Kind: "blackhole", From: from, To: to})
+		n.blackhole.Inc()
+		return fateBlackhole, 0
+	case roll < p.DropProb+p.BlackholeProb+p.DelayProb && p.MaxDelay > 0:
+		d := time.Duration(1 + n.rng.Int63n(int64(p.MaxDelay)))
+		n.record(Event{Index: idx, Kind: "delay", From: from, To: to, Delay: d})
+		n.delays.Inc()
+		return fateDelay, d
+	default:
+		n.record(Event{Index: idx, Kind: "deliver", From: from, To: to})
+		return fateDeliver, 0
+	}
+}
+
+// decideDial indexes one dial decision. It returns refused, dup.
+func (n *Network) decideDial(from, to string) (bool, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	idx := n.next
+	n.next++
+	n.dials.Inc()
+	if n.closed || n.cutLocked(from, to) {
+		n.record(Event{Index: idx, Kind: "dial-fail", From: from, To: to})
+		n.dialFails.Inc()
+		return true, false
+	}
+	roll := n.rng.Float64()
+	forced := n.failAt[idx]
+	if forced {
+		delete(n.failAt, idx)
+	}
+	p := n.profile
+	switch {
+	case forced || roll < p.DialFailProb:
+		n.record(Event{Index: idx, Kind: "dial-fail", From: from, To: to})
+		n.dialFails.Inc()
+		return true, false
+	case roll < p.DialFailProb+p.DupDialProb:
+		n.record(Event{Index: idx, Kind: "dial-dup", From: from, To: to})
+		return false, true
+	default:
+		n.record(Event{Index: idx, Kind: "dial", From: from, To: to})
+		return false, false
+	}
+}
+
+// --- listener ---
+
+// Listener accepts simulated connections for one named endpoint. It
+// implements net.Listener.
+type Listener struct {
+	net  *Network
+	name string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*Conn
+	closed  bool
+}
+
+// Listen binds name to a new Listener. A name may be re-bound after its
+// previous listener closed (a restarted server), but not while it is live.
+func (n *Network) Listen(name string) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("netsim: listen %s: %w", name, ErrClosed)
+	}
+	if old, ok := n.listeners[name]; ok {
+		old.mu.Lock()
+		live := !old.closed
+		old.mu.Unlock()
+		if live {
+			return nil, fmt.Errorf("netsim: %s already listening", name)
+		}
+	}
+	l := &Listener{net: n, name: name}
+	l.cond = sync.NewCond(&l.mu)
+	n.listeners[name] = l
+	return l, nil
+}
+
+// Accept blocks for the next connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed {
+		return nil, fmt.Errorf("netsim: accept %s: %w", l.name, ErrClosed)
+	}
+	c := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return c, nil
+}
+
+// Close stops the listener; blocked Accepts return ErrClosed.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return addr(l.name) }
+
+// deliver hands an accepted conn to the listener; false if it is closed.
+func (l *Listener) deliver(c *Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	l.backlog = append(l.backlog, c)
+	l.cond.Signal()
+	return true
+}
+
+// addr is a net.Addr naming a simulated endpoint.
+type addr string
+
+func (a addr) Network() string { return "netsim" }
+func (a addr) String() string  { return string(a) }
+
+// --- dialing ---
+
+// Dial connects endpoint from to the listener named to, subject to the
+// fault schedule.
+func (n *Network) Dial(from, to string) (net.Conn, error) {
+	refused, dup := n.decideDial(from, to)
+	if refused {
+		return nil, fmt.Errorf("netsim: dial %s->%s: %w", from, to, ErrRefused)
+	}
+	n.mu.Lock()
+	l := n.listeners[to]
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("netsim: dial %s->%s: no listener: %w", from, to, ErrRefused)
+	}
+	if dup {
+		// The ghost connection: accepted by the server, abandoned by the
+		// network. It carries nothing and dies when either side closes.
+		_, ghost := n.newPair(from, to)
+		if !l.deliver(ghost) {
+			ghost.kill()
+		}
+	}
+	client, server := n.newPair(from, to)
+	if !l.deliver(server) {
+		client.kill()
+		return nil, fmt.Errorf("netsim: dial %s->%s: listener closed: %w", from, to, ErrRefused)
+	}
+	return client, nil
+}
+
+// Dialer returns a dial function bound to a from→to link, in the shape the
+// rpc package's reconnecting client wants.
+func (n *Network) Dialer(from, to string) func() (io.ReadWriteCloser, error) {
+	return func() (io.ReadWriteCloser, error) { return n.Dial(from, to) }
+}
+
+// newPair builds a connected duplex pair; a is the from side.
+func (n *Network) newPair(from, to string) (a, b *Conn) {
+	a = &Conn{net: n, local: from, remote: to}
+	b = &Conn{net: n, local: to, remote: from}
+	a.cond = sync.NewCond(&a.mu)
+	b.cond = sync.NewCond(&b.mu)
+	a.peer, b.peer = b, a
+	n.mu.Lock()
+	n.conns[a] = struct{}{}
+	n.conns[b] = struct{}{}
+	n.mu.Unlock()
+	return a, b
+}
+
+// --- conn ---
+
+// Conn is one side of a simulated duplex stream. It implements net.Conn.
+// Faults are decided on the write side; reads just drain the inbox.
+type Conn struct {
+	net           *Network
+	local, remote string
+	peer          *Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  bytes.Buffer
+	closed bool // this side Closed locally
+	reset  bool // killed: reads fail immediately, buffered data discarded
+	eof    bool // peer closed gracefully: reads drain then EOF
+}
+
+// Read drains the inbox, blocking until data, EOF, or a reset.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.reset {
+			return 0, ErrReset
+		}
+		if c.closed {
+			return 0, ErrClosed
+		}
+		if c.inbox.Len() > 0 {
+			return c.inbox.Read(p)
+		}
+		if c.eof {
+			return 0, io.EOF
+		}
+		c.cond.Wait()
+	}
+}
+
+// Write submits one message to the fault schedule, then delivers it to the
+// peer's inbox (possibly after a delay), discards it, or resets the
+// connection.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.reset {
+		c.mu.Unlock()
+		return 0, ErrReset
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	c.mu.Unlock()
+
+	f, delay := c.net.decide(c.local, c.remote)
+	switch f {
+	case fateDrop:
+		c.net.kills.Inc()
+		c.kill()
+		c.peer.kill()
+		return 0, fmt.Errorf("%w (message dropped %s->%s)", ErrReset, c.local, c.remote)
+	case fateBlackhole, fateCut:
+		// Acknowledged to the sender, never delivered.
+		return len(p), nil
+	case fateDelay:
+		time.Sleep(delay)
+	}
+	return c.peer.receive(p)
+}
+
+// receive appends delivered bytes to this side's inbox.
+func (c *Conn) receive(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset || c.closed {
+		// The receiver is gone; the sender's stream is broken.
+		return 0, ErrReset
+	}
+	c.inbox.Write(p)
+	c.cond.Signal()
+	return len(p), nil
+}
+
+// Close shuts this side down gracefully: the peer drains buffered data and
+// then reads EOF.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed || c.reset {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.peer.peerClosed()
+	c.net.forget(c)
+	return nil
+}
+
+func (c *Conn) peerClosed() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.eof = true
+	c.cond.Broadcast()
+}
+
+// Kill resets the connection from outside — the hard-close fault.
+func (c *Conn) Kill() {
+	c.net.kills.Inc()
+	c.net.mu.Lock()
+	c.net.note("kill", c.local, c.remote)
+	c.net.mu.Unlock()
+	c.kill()
+	c.peer.kill()
+}
+
+func (c *Conn) kill() {
+	c.mu.Lock()
+	if !c.reset {
+		c.reset = true
+		c.inbox.Reset()
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	c.net.forget(c)
+}
+
+func (n *Network) forget(c *Conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return addr(c.local) }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return addr(c.remote) }
+
+// SetDeadline implements net.Conn; deadlines are not simulated.
+func (c *Conn) SetDeadline(t time.Time) error { return nil }
+
+// SetReadDeadline implements net.Conn; deadlines are not simulated.
+func (c *Conn) SetReadDeadline(t time.Time) error { return nil }
+
+// SetWriteDeadline implements net.Conn; deadlines are not simulated.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }

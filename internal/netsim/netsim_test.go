@@ -1,0 +1,290 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"smalldb/internal/obs"
+)
+
+// echoServer accepts connections on l and echoes every byte back.
+func echoServer(l *Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			buf := make([]byte, 256)
+			for {
+				n, err := conn.Read(buf)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				if _, err := conn.Write(buf[:n]); err != nil {
+					conn.Close()
+					return
+				}
+			}
+		}()
+	}
+}
+
+func TestPerfectNetworkRoundTrip(t *testing.T) {
+	nw := New(1, Options{})
+	defer nw.Close()
+	l, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go echoServer(l)
+	c, err := nw.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := c.Read(buf)
+	if err != nil || string(buf[:n]) != "hello" {
+		t.Fatalf("read %q, %v", buf[:n], err)
+	}
+}
+
+func TestGracefulCloseGivesEOF(t *testing.T) {
+	nw := New(1, Options{})
+	defer nw.Close()
+	a, b := nw.newPair("a", "b")
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	buf := make([]byte, 16)
+	n, err := b.Read(buf)
+	if err != nil || string(buf[:n]) != "tail" {
+		t.Fatalf("buffered data lost on graceful close: %q, %v", buf[:n], err)
+	}
+	if _, err := b.Read(buf); err != io.EOF {
+		t.Fatalf("want EOF after drain, got %v", err)
+	}
+}
+
+func TestKillResetsBothEnds(t *testing.T) {
+	nw := New(1, Options{})
+	defer nw.Close()
+	a, b := nw.newPair("a", "b")
+	a.Write([]byte("in flight"))
+	a.Kill()
+	if _, err := b.Read(make([]byte, 8)); !errors.Is(err, ErrReset) {
+		t.Fatalf("read after kill: %v", err)
+	}
+	if _, err := a.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write after kill: %v", err)
+	}
+}
+
+func TestDropKillsConnection(t *testing.T) {
+	nw := New(1, Options{})
+	defer nw.Close()
+	a, b := nw.newPair("a", "b")
+	nw.FailAt(0) // force the first message decision to drop
+	if _, err := a.Write([]byte("doomed")); !errors.Is(err, ErrReset) {
+		t.Fatalf("dropped write: %v", err)
+	}
+	if _, err := b.Read(make([]byte, 8)); !errors.Is(err, ErrReset) {
+		t.Fatalf("peer read after drop: %v", err)
+	}
+}
+
+func TestSymmetricPartition(t *testing.T) {
+	nw := New(1, Options{})
+	defer nw.Close()
+	l, err := nw.Listen("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go echoServer(l)
+	c, err := nw.Dial("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Partition("a", "b")
+	// Existing connection is reset.
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("write across partition: %v", err)
+	}
+	// Dials are refused both ways.
+	if _, err := nw.Dial("a", "b"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial a->b across partition: %v", err)
+	}
+	if _, err := nw.Dial("b", "a"); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial b->a across partition: %v", err)
+	}
+	nw.Heal("a", "b")
+	c2, err := nw.Dial("a", "b")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	if _, err := c2.Write([]byte("back")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+}
+
+func TestOneWayPartitionBlackholes(t *testing.T) {
+	nw := New(1, Options{})
+	defer nw.Close()
+	a, b := nw.newPair("a", "b")
+	nw.PartitionOneWay("a", "b")
+	// a->b vanishes but the write is acknowledged.
+	if _, err := a.Write([]byte("lost")); err != nil {
+		t.Fatalf("blackholed write errored: %v", err)
+	}
+	// b->a still works.
+	if _, err := b.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := a.Read(buf)
+	if err != nil || string(buf[:n]) != "back" {
+		t.Fatalf("reverse direction: %q, %v", buf[:n], err)
+	}
+	// Nothing ever arrives at b.
+	done := make(chan struct{})
+	go func() {
+		b.Read(make([]byte, 8))
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("blackholed message was delivered")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Kill() // unblock the reader
+	<-done
+}
+
+func TestRebindAfterListenerClose(t *testing.T) {
+	nw := New(1, Options{})
+	defer nw.Close()
+	l, err := nw.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Listen("x"); err == nil {
+		t.Fatal("double listen succeeded")
+	}
+	l.Close()
+	if _, err := nw.Listen("x"); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+// script drives one deterministic sequence of dials and writes against a
+// hostile profile, returning the observed outcome sequence.
+func script(t *testing.T, nw *Network) []string {
+	t.Helper()
+	var out []string
+	l, err := nw.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go echoServer(l)
+	var c io.ReadWriteCloser
+	for i := 0; i < 200; i++ {
+		if c == nil {
+			cc, err := nw.Dial("cli", "srv")
+			if err != nil {
+				out = append(out, "dial-fail")
+				continue
+			}
+			out = append(out, "dial")
+			c = cc
+		}
+		if _, err := c.Write([]byte{byte(i)}); err != nil {
+			out = append(out, "write-fail")
+			c.Close()
+			c = nil
+			continue
+		}
+		buf := make([]byte, 1)
+		if _, err := io.ReadFull(c.(io.Reader), buf); err != nil {
+			out = append(out, "read-fail")
+			c.Close()
+			c = nil
+			continue
+		}
+		out = append(out, "ok")
+	}
+	if c != nil {
+		c.Close()
+	}
+	return out
+}
+
+// TestDeterministicReplay is the acceptance self-test: the same seed and
+// the same (sequential) workload produce the identical fault schedule —
+// outcome for outcome and trace event for trace event — including a forced
+// known-bad decision, so any failing schedule replays from (seed, index).
+func TestDeterministicReplay(t *testing.T) {
+	profile := Profile{DropProb: 0.15, DelayProb: 0.2, MaxDelay: 100 * time.Microsecond, DialFailProb: 0.2, DupDialProb: 0.1}
+	run := func() ([]string, []Event) {
+		nw := New(42, Options{Profile: profile})
+		defer nw.Close()
+		nw.FailAt(17) // the known-bad decision
+		return script(t, nw), nw.Trace()
+	}
+	out1, trace1 := run()
+	out2, trace2 := run()
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatalf("outcome sequences diverge:\n%v\n%v", out1, out2)
+	}
+	if !reflect.DeepEqual(trace1, trace2) {
+		t.Fatalf("fault traces diverge across replays (%d vs %d events)", len(trace1), len(trace2))
+	}
+	if len(trace1) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// The forced failure actually fired at its index.
+	foundForced := false
+	for _, e := range trace1 {
+		if e.Index == 17 && (e.Kind == "drop" || e.Kind == "dial-fail") {
+			foundForced = true
+		}
+	}
+	if !foundForced {
+		t.Fatalf("forced failure at index 17 missing from trace: %v", trace1[:min(len(trace1), 25)])
+	}
+	// And a different seed gives a different schedule.
+	nw := New(43, Options{Profile: profile})
+	defer nw.Close()
+	out3 := script(t, nw)
+	if reflect.DeepEqual(out1, out3) {
+		t.Fatal("different seeds produced identical outcome sequences")
+	}
+}
+
+func TestCountersAndTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	nw := New(7, Options{Profile: Profile{DropProb: 0.5}, Obs: reg, TraceCap: 8})
+	defer nw.Close()
+	for i := 0; i < 50; i++ {
+		a, _ := nw.newPair("a", "b")
+		a.Write([]byte("x"))
+		a.Close()
+	}
+	if reg.Counter("netsim_messages").Value() == 0 {
+		t.Error("netsim_messages not counted")
+	}
+	if reg.Counter("netsim_drops").Value() == 0 {
+		t.Error("netsim_drops not counted with DropProb=0.5")
+	}
+	if tr := nw.Trace(); len(tr) != 8 {
+		t.Errorf("trace ring holds %d events, want cap 8", len(tr))
+	}
+}

@@ -45,6 +45,19 @@ type Config struct {
 	// replica.antientropy events.
 	Obs    *obs.Registry
 	Tracer obs.Tracer
+	// PushPolicy bounds the retrying push of each committed update to
+	// each peer (the zero value means the rpc defaults: 2s budget,
+	// exponential backoff with jitter). A push that exhausts its policy
+	// is simply dropped — the peer catches up through anti-entropy — so
+	// the budget is how long Apply is willing to stall absorbing
+	// transient network faults before handing the update to the
+	// background repair path.
+	PushPolicy rpc.RetryPolicy
+	// SyncPolicy bounds each anti-entropy RPC (Pull, Snapshot) the same
+	// way. Both policies ride on idempotency tokens, so a retried push
+	// never double-applies even if the first attempt executed and only
+	// its response was lost.
+	SyncPolicy rpc.RetryPolicy
 }
 
 // Node is one replica: a full store plus the propagation machinery.
@@ -54,6 +67,9 @@ type Node struct {
 
 	m      nodeMetrics
 	tracer obs.Tracer
+
+	pushPolicy rpc.RetryPolicy
+	syncPolicy rpc.RetryPolicy
 
 	mu    sync.Mutex // serializes local sequence assignment
 	peers map[string]*rpc.Client
@@ -107,11 +123,13 @@ func Open(cfg Config) (*Node, error) {
 		return nil, err
 	}
 	return &Node{
-		name:   cfg.Name,
-		store:  st,
-		m:      newNodeMetrics(cfg.Obs),
-		tracer: cfg.Tracer,
-		peers:  make(map[string]*rpc.Client),
+		name:       cfg.Name,
+		store:      st,
+		m:          newNodeMetrics(cfg.Obs),
+		tracer:     cfg.Tracer,
+		pushPolicy: cfg.PushPolicy,
+		syncPolicy: cfg.SyncPolicy,
+		peers:      make(map[string]*rpc.Client),
 	}, nil
 }
 
@@ -163,7 +181,7 @@ func (n *Node) Apply(inner core.Update) error {
 	entry := Entry{Origin: n.name, Seq: seq, Stamp: stamp, Inner: inner}
 	for _, p := range peers {
 		var reply PushReply
-		perr := p.Call("Replica.Push", &PushArgs{Entries: []Entry{entry}}, &reply)
+		perr := p.CallRetry("Replica.Push", &PushArgs{Entries: []Entry{entry}}, &reply, n.pushPolicy)
 		n.m.pushes.Inc()
 		if perr != nil {
 			n.m.pushErrors.Inc()
@@ -303,12 +321,12 @@ func (n *Node) syncWith(client *rpc.Client) (applied int, full bool, err error) 
 		return 0, false, err
 	}
 	var reply PullReply
-	if err := client.Call("Replica.Pull", &PullArgs{Vector: vec}, &reply); err != nil {
+	if err := client.CallRetry("Replica.Pull", &PullArgs{Vector: vec}, &reply, n.syncPolicy); err != nil {
 		return 0, false, err
 	}
 	if reply.NeedFull {
 		var snap SnapshotReply
-		if err := client.Call("Replica.Snapshot", &SnapshotArgs{}, &snap); err != nil {
+		if err := client.CallRetry("Replica.Snapshot", &SnapshotArgs{}, &snap, n.syncPolicy); err != nil {
 			return 0, true, err
 		}
 		return 0, true, n.installSnapshot(snap.Root)
@@ -406,7 +424,7 @@ func (u *installSnapshot) Apply(root any) error {
 // had not propagated anywhere.
 func (n *Node) RestoreFromPeer(client *rpc.Client) error {
 	var snap SnapshotReply
-	if err := client.Call("Replica.Snapshot", &SnapshotArgs{}, &snap); err != nil {
+	if err := client.CallRetry("Replica.Snapshot", &SnapshotArgs{}, &snap, n.syncPolicy); err != nil {
 		return err
 	}
 	return n.installSnapshot(snap.Root)

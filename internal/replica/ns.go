@@ -1,0 +1,32 @@
+package replica
+
+import "smalldb/internal/nameserver"
+
+// NSService adapts a replica node to the same "NS" RPC service an
+// unreplicated name server exposes, so clients (nsctl, benchmarks) talk to
+// replicated and unreplicated daemons identically. Updates commit locally
+// — the paper's ack-after-one-replica rule — and propagate by push and
+// anti-entropy.
+type NSService struct {
+	node *Node
+}
+
+// NewNSService returns the NS-compatible RPC service for a node.
+func NewNSService(n *Node) *NSService { return &NSService{node: n} }
+
+// Lookup serves the remote enquiry.
+func (s *NSService) Lookup(args *nameserver.LookupArgs, reply *nameserver.LookupReply) error {
+	v, err := s.node.Lookup(args.Name)
+	reply.Value = v
+	return err
+}
+
+// Set serves the remote update.
+func (s *NSService) Set(args *nameserver.SetArgs, reply *nameserver.SetReply) error {
+	return s.node.Set(args.Name, args.Value)
+}
+
+// Delete serves the remote delete.
+func (s *NSService) Delete(args *nameserver.DeleteArgs, reply *nameserver.DeleteReply) error {
+	return s.node.Delete(args.Name)
+}

@@ -19,6 +19,18 @@
 // The wire protocol is one uvarint-length-prefixed pickled message per
 // request or response, multiplexed by call ID, so one connection carries
 // any number of concurrent calls.
+//
+// The network is allowed to fail. A Client built over a dial function
+// (NewClientDialer, Dial, DialRetry) reconnects automatically: when the
+// connection dies, every call in flight on it fails with ErrDisconnected
+// and the next call dials afresh. CallRetry layers at-least-once delivery
+// on top — exponential backoff with jitter under a total deadline budget —
+// and stamps every attempt with the same idempotency token, which the
+// server uses to deduplicate re-executions and replay the original reply,
+// making retries safe even for non-idempotent methods. This is the
+// transport the paper's §7 replication story assumes: an update is acked
+// after one replica commits it, so the path to that replica must survive
+// drops, delays and partitions rather than wedge on the first dead socket.
 package rpc
 
 import (
@@ -27,9 +39,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smalldb/internal/obs"
@@ -39,6 +54,11 @@ import (
 // maxMessage bounds a single RPC message.
 const maxMessage = 64 << 20
 
+// frameChunk is the allocation step for incoming frames: a frame's buffer
+// grows as bytes actually arrive, so a garbage header claiming maxMessage
+// cannot force a 64 MiB allocation for a 3-byte connection.
+const frameChunk = 64 << 10
+
 // ServerError is an error returned by the remote side.
 type ServerError string
 
@@ -47,11 +67,33 @@ func (e ServerError) Error() string { return string(e) }
 // ErrShutdown is returned by calls on a closed client.
 var ErrShutdown = errors.New("rpc: client is shut down")
 
-// request and response are the two wire message types.
+// ErrTimeout is returned by CallTimeout when the deadline passes.
+var ErrTimeout = errors.New("rpc: call timed out")
+
+// ErrDisconnected marks a call that failed because the connection died (or
+// could not be established). The request may or may not have executed on
+// the server; CallRetry treats it as retryable, relying on idempotency
+// tokens to keep re-execution safe.
+var ErrDisconnected = errors.New("rpc: connection lost")
+
+// Retryable reports whether err is a transport-level failure worth
+// retrying: the connection died or the call timed out. Server-side errors
+// (ServerError) mean the request executed and are final, and ErrShutdown
+// means the caller closed the client.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrDisconnected) || errors.Is(err, ErrTimeout)
+}
+
+// request and response are the two wire message types. Client and Token,
+// when set, identify the call across retried attempts: the server caches
+// the response per (Client, Token) and replays it for duplicates instead of
+// re-executing the method.
 type request struct {
 	ID     uint64
 	Method string
 	Arg    any
+	Client string
+	Token  uint64
 }
 
 type response struct {
@@ -65,7 +107,9 @@ func init() {
 	pickle.Register(&response{})
 }
 
-// writeMessage frames and writes one pickled message.
+// writeMessage frames and writes one pickled message. Header and payload go
+// out in a single Write, so the transport never observes a torn frame
+// boundary between them.
 func writeMessage(w io.Writer, wmu *sync.Mutex, v any) error {
 	payload, err := pickle.Marshal(v)
 	if err != nil {
@@ -73,26 +117,52 @@ func writeMessage(w io.Writer, wmu *sync.Mutex, v any) error {
 	}
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	buf := make([]byte, 0, n+len(payload))
+	buf = append(buf, hdr[:n]...)
+	buf = append(buf, payload...)
 	wmu.Lock()
 	defer wmu.Unlock()
-	if _, err := w.Write(hdr[:n]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
+	_, err = w.Write(buf)
 	return err
+}
+
+// readFrame reads one length-prefixed frame payload. Truncated, garbage or
+// oversized frames error; the buffer is grown in frameChunk steps as data
+// actually arrives, bounding the allocation a hostile header can cause.
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxMessage {
+		return nil, fmt.Errorf("rpc: message of %d bytes exceeds limit", n)
+	}
+	if n <= frameChunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, frameChunk)
+	for uint64(len(buf)) < n {
+		step := n - uint64(len(buf))
+		if step > frameChunk {
+			step = frameChunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // readMessage reads one framed message into ptr.
 func readMessage(r *bufio.Reader, ptr any) error {
-	n, err := binary.ReadUvarint(r)
+	buf, err := readFrame(r)
 	if err != nil {
-		return err
-	}
-	if n > maxMessage {
-		return fmt.Errorf("rpc: message of %d bytes exceeds limit", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
 		return err
 	}
 	return pickle.Unmarshal(buf, ptr)
@@ -105,13 +175,16 @@ type Server struct {
 	mu       sync.RWMutex
 	services map[string]*service
 
+	dedupe dedupe
+
 	// obs and tracer are set by Instrument before serving; nil means
 	// uninstrumented (every metric method tolerates nil).
-	obs       *obs.Registry
-	tracer    obs.Tracer
-	openConns *obs.Gauge
-	requests  *obs.Counter
-	errors    *obs.Counter
+	obs        *obs.Registry
+	tracer     obs.Tracer
+	openConns  *obs.Gauge
+	requests   *obs.Counter
+	errors     *obs.Counter
+	dedupeHits *obs.Counter
 
 	lmu       sync.Mutex
 	listeners []net.Listener
@@ -120,16 +193,17 @@ type Server struct {
 }
 
 // Instrument wires the server's metrics into reg — rpc_requests,
-// rpc_errors, rpc_open_conns, and per-method rpc_calls_<Service.Method> /
-// rpc_errors_<Service.Method> counters with rpc_latency_ns_<Service.Method>
-// histograms — and emits an "rpc.call" event per dispatch to tr. Call
-// before Serve.
+// rpc_errors, rpc_open_conns, rpc_dedupe_hits, and per-method
+// rpc_calls_<Service.Method> / rpc_errors_<Service.Method> counters with
+// rpc_latency_ns_<Service.Method> histograms — and emits an "rpc.call"
+// event per dispatch to tr. Call before Serve.
 func (s *Server) Instrument(reg *obs.Registry, tr obs.Tracer) {
 	s.obs = reg
 	s.tracer = tr
 	s.openConns = reg.Gauge("rpc_open_conns")
 	s.requests = reg.Counter("rpc_requests")
 	s.errors = reg.Counter("rpc_errors")
+	s.dedupeHits = reg.Counter("rpc_dedupe_hits")
 }
 
 type service struct {
@@ -139,7 +213,11 @@ type service struct {
 
 // NewServer returns an empty Server.
 func NewServer() *Server {
-	return &Server{services: make(map[string]*service), conns: make(map[io.Closer]bool)}
+	return &Server{
+		services: make(map[string]*service),
+		conns:    make(map[io.Closer]bool),
+		dedupe:   dedupe{clients: make(map[string]*clientDedupe)},
+	}
 }
 
 var errType = reflect.TypeOf((*error)(nil)).Elem()
@@ -236,10 +314,38 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 		handlers.Add(1)
 		go func(req request) {
 			defer handlers.Done()
-			resp := s.dispatch(&req)
+			resp := s.serveRequest(&req)
 			_ = writeMessage(conn, &wmu, resp)
 		}(req)
 	}
+}
+
+// serveRequest dispatches one request, deduplicating retried attempts: a
+// request carrying an idempotency token executes at most once while the
+// token is remembered, and duplicates replay the cached response.
+func (s *Server) serveRequest(req *request) *response {
+	if req.Token == 0 || req.Client == "" {
+		return s.dispatch(req)
+	}
+	for {
+		cached, inflight := s.dedupe.begin(req.Client, req.Token)
+		if cached != nil {
+			s.dedupeHits.Inc()
+			r := *cached
+			r.ID = req.ID
+			return &r
+		}
+		if inflight == nil {
+			break // this attempt is the executor
+		}
+		// The original attempt is still executing (its response probably
+		// died with the old connection); wait for it rather than running
+		// the method twice concurrently.
+		<-inflight
+	}
+	resp := s.dispatch(req)
+	s.dedupe.finish(req.Client, req.Token, resp)
+	return resp
 }
 
 // dispatch has a named result so the deferred panic handler can still
@@ -355,133 +461,353 @@ func (s *Server) Close() {
 	}
 }
 
+// --- idempotency dedupe ---
+
+// dedupePerClient bounds the remembered responses per client, and
+// dedupeClients the number of clients tracked; both evict FIFO. The bound
+// is a window, not a guarantee: a retry arriving after its token was
+// evicted re-executes, which is why callers of CallRetry should still
+// prefer naturally idempotent methods.
+const (
+	dedupePerClient = 1024
+	dedupeClients   = 128
+)
+
+// dedupe is the server's per-client idempotency-token cache.
+type dedupe struct {
+	mu      sync.Mutex
+	clients map[string]*clientDedupe
+	order   []string // FIFO client eviction
+}
+
+type clientDedupe struct {
+	done     map[uint64]*response
+	inflight map[uint64]chan struct{}
+	order    []uint64 // FIFO token eviction
+}
+
+// begin resolves one attempt: a cached response (already executed), an
+// in-flight channel to wait on (executing right now), or (nil, nil)
+// meaning the caller must execute and finish.
+func (d *dedupe) begin(client string, token uint64) (*response, chan struct{}) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cd := d.clients[client]
+	if cd == nil {
+		if len(d.clients) >= dedupeClients {
+			oldest := d.order[0]
+			d.order = d.order[1:]
+			if old := d.clients[oldest]; old != nil {
+				// Unblock anyone waiting on the evicted client's
+				// in-flight tokens; they will re-begin and re-execute.
+				for _, ch := range old.inflight {
+					close(ch)
+				}
+			}
+			delete(d.clients, oldest)
+		}
+		cd = &clientDedupe{done: make(map[uint64]*response), inflight: make(map[uint64]chan struct{})}
+		d.clients[client] = cd
+		d.order = append(d.order, client)
+	}
+	if r, ok := cd.done[token]; ok {
+		return r, nil
+	}
+	if ch, ok := cd.inflight[token]; ok {
+		return nil, ch
+	}
+	cd.inflight[token] = make(chan struct{})
+	return nil, nil
+}
+
+// finish records the executor's response and wakes duplicate waiters.
+func (d *dedupe) finish(client string, token uint64, resp *response) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cd := d.clients[client]
+	if cd == nil {
+		return // evicted mid-execution; duplicates will re-execute
+	}
+	if ch, ok := cd.inflight[token]; ok {
+		close(ch)
+		delete(cd.inflight, token)
+	}
+	cd.done[token] = resp
+	cd.order = append(cd.order, token)
+	if len(cd.order) > dedupePerClient {
+		evict := cd.order[0]
+		cd.order = cd.order[1:]
+		delete(cd.done, evict)
+	}
+}
+
 // --- client ---
 
-// A Client issues calls over one connection; it is safe for concurrent use
-// and multiplexes any number of outstanding calls.
+// A Client issues calls over one connection at a time; it is safe for
+// concurrent use and multiplexes any number of outstanding calls. A client
+// built with a dial function reconnects lazily: when the connection dies,
+// in-flight calls fail with ErrDisconnected and the next call redials.
 type Client struct {
-	conn io.ReadWriteCloser
-	wmu  sync.Mutex
-
 	// SimulatedRTT, when set, delays every call by the given round-trip
 	// time — experiment E11's stand-in for the paper's 8 ms network.
 	SimulatedRTT time.Duration
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *response
-	err     error
-	closed  bool
+	dial func() (io.ReadWriteCloser, error)
+	id   string // identity for idempotency tokens
+
+	// metrics are set by Instrument; all are nil-safe.
+	retries    *obs.Counter
+	reconnects *obs.Counter
+	timeouts   *obs.Counter
+	inflight   *obs.Gauge
+
+	nextToken atomic.Uint64
+
+	rmu sync.Mutex
+	rng *rand.Rand // backoff jitter
+
+	mu       sync.Mutex
+	cur      *clientConn
+	everConn bool
+	nextID   uint64
+	pending  map[uint64]*pendingCall
+	err      error // sticky death of a fixed-conn client
+	closed   bool
 }
 
-// NewClient returns a Client using conn.
+// clientConn is one live connection with its write lock.
+type clientConn struct {
+	rwc io.ReadWriteCloser
+	wmu sync.Mutex
+}
+
+// pendingCall is one outstanding request awaiting its response.
+type pendingCall struct {
+	cc *clientConn
+	ch chan callResult
+}
+
+// callResult is a response or a transport failure.
+type callResult struct {
+	resp *response
+	err  error
+}
+
+var clientSeq atomic.Uint64
+
+func newClient(dial func() (io.ReadWriteCloser, error)) *Client {
+	seq := clientSeq.Add(1)
+	return &Client{
+		dial:    dial,
+		id:      fmt.Sprintf("c%d.%d", os.Getpid(), seq),
+		rng:     rand.New(rand.NewSource(int64(seq))),
+		pending: make(map[uint64]*pendingCall),
+	}
+}
+
+// NewClient returns a Client bound to one fixed conn; when it dies the
+// client is dead (use NewClientDialer for reconnection).
 func NewClient(conn io.ReadWriteCloser) *Client {
-	c := &Client{conn: conn, pending: make(map[uint64]chan *response)}
-	go c.readLoop()
+	c := newClient(nil)
+	cc := &clientConn{rwc: conn}
+	c.cur = cc
+	c.everConn = true
+	go c.readLoop(cc)
 	return c
 }
 
-// Dial connects a Client to a TCP server.
+// NewClientDialer returns a Client that connects lazily via dial and
+// reconnects (on the next call) whenever the connection dies. Construction
+// never fails; a dead endpoint surfaces as ErrDisconnected from calls.
+func NewClientDialer(dial func() (io.ReadWriteCloser, error)) *Client {
+	return newClient(dial)
+}
+
+// Dial connects a Client to a TCP server, verifying the endpoint once; the
+// returned client redials on every subsequent connection failure.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	c := DialRetry(addr)
+	c.mu.Lock()
+	_, err := c.ensureConnLocked()
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return c, nil
 }
 
-func (c *Client) readLoop() {
-	r := bufio.NewReader(c.conn)
+// DialRetry returns a reconnecting TCP client for addr without dialing yet:
+// the first call connects, and every connection failure after that redials.
+func DialRetry(addr string) *Client {
+	return NewClientDialer(func() (io.ReadWriteCloser, error) {
+		return net.Dial("tcp", addr)
+	})
+}
+
+// Instrument wires the client's resilience metrics into reg: rpc_retries,
+// rpc_reconnects, rpc_timeouts and the rpc_inflight gauge. Clients sharing
+// a registry share the metric objects, so the counters aggregate.
+func (c *Client) Instrument(reg *obs.Registry) {
+	c.retries = reg.Counter("rpc_retries")
+	c.reconnects = reg.Counter("rpc_reconnects")
+	c.timeouts = reg.Counter("rpc_timeouts")
+	c.inflight = reg.Gauge("rpc_inflight")
+}
+
+// ensureConnLocked returns the live connection, dialing one if needed.
+// Called with c.mu held; a slow dial therefore serializes callers, which is
+// what we want — one reconnection attempt at a time.
+func (c *Client) ensureConnLocked() (*clientConn, error) {
+	if c.closed {
+		return nil, ErrShutdown
+	}
+	if c.cur != nil {
+		return c.cur, nil
+	}
+	if c.dial == nil {
+		if c.err != nil {
+			return nil, c.err
+		}
+		return nil, ErrShutdown
+	}
+	rwc, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial: %v", ErrDisconnected, err)
+	}
+	cc := &clientConn{rwc: rwc}
+	c.cur = cc
+	if c.everConn {
+		c.reconnects.Inc()
+	}
+	c.everConn = true
+	go c.readLoop(cc)
+	return cc, nil
+}
+
+func (c *Client) readLoop(cc *clientConn) {
+	r := bufio.NewReader(cc.rwc)
 	for {
 		var resp response
 		if err := readMessage(r, &resp); err != nil {
-			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			c.connFailed(cc, err)
 			return
 		}
 		c.mu.Lock()
-		ch := c.pending[resp.ID]
+		pc := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- &resp
+		if pc != nil {
+			pc.ch <- callResult{resp: &resp}
 		}
+		// A nil pc is a response whose caller stopped waiting (timeout);
+		// it is discarded, not leaked.
 	}
 }
 
-func (c *Client) fail(err error) {
+// connFailed retires a dead connection: calls in flight on it fail with
+// ErrDisconnected, the conn is closed (unwedging any writer blocked on a
+// black-holed transport), and — for fixed-conn clients — the death is
+// sticky.
+func (c *Client) connFailed(cc *clientConn, cause error) {
+	err := fmt.Errorf("%w: %v", ErrDisconnected, cause)
 	c.mu.Lock()
-	if c.err == nil {
-		c.err = err
+	if c.cur == cc {
+		c.cur = nil
+		if c.dial == nil && c.err == nil {
+			c.err = err
+		}
 	}
-	pending := c.pending
-	c.pending = make(map[uint64]chan *response)
+	var failed []*pendingCall
+	for id, pc := range c.pending {
+		if pc.cc == cc {
+			delete(c.pending, id)
+			failed = append(failed, pc)
+		}
+	}
 	c.mu.Unlock()
-	for id, ch := range pending {
-		ch <- &response{ID: id, Err: err.Error()}
+	cc.rwc.Close()
+	for _, pc := range failed {
+		pc.ch <- callResult{err: err}
 	}
+}
+
+func (c *Client) dropPending(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Call invokes "Service.Method" with arg, storing the result into reply
+// (a non-nil pointer, or nil to discard). It waits as long as the
+// connection lives; use CallTimeout or CallRetry to bound it.
+func (c *Client) Call(method string, arg any, reply any) error {
+	return c.call(method, arg, reply, 0, 0)
 }
 
 // CallTimeout is Call with a deadline: if the response does not arrive in
-// time the call fails with ErrTimeout (the request is not cancelled on the
+// time the call fails with ErrTimeout. The request is not cancelled on the
 // server — as in the paper's RPC, the caller just stops waiting — but the
-// late response is discarded).
+// pending-call entry is removed, so the late response is discarded rather
+// than leaked.
 func (c *Client) CallTimeout(method string, arg, reply any, d time.Duration) error {
-	// Decode into a private value so a response arriving after the
-	// timeout cannot race a caller that reuses reply.
-	var tmp any
-	if reply != nil {
-		rv := reflect.ValueOf(reply)
-		if rv.Kind() != reflect.Pointer || rv.IsNil() {
-			return fmt.Errorf("rpc: reply must be a non-nil pointer, got %T", reply)
-		}
-		tmp = reflect.New(rv.Type().Elem()).Interface()
+	if d <= 0 {
+		return c.call(method, arg, reply, 0, 0)
 	}
-	done := make(chan error, 1)
-	go func() { done <- c.Call(method, arg, tmp) }()
-	timer := time.NewTimer(d)
-	defer timer.Stop()
-	select {
-	case err := <-done:
-		if err == nil && reply != nil {
-			reflect.ValueOf(reply).Elem().Set(reflect.ValueOf(tmp).Elem())
-		}
-		return err
-	case <-timer.C:
-		return ErrTimeout
-	}
+	return c.call(method, arg, reply, 0, d)
 }
 
-// ErrTimeout is returned by CallTimeout when the deadline passes.
-var ErrTimeout = errors.New("rpc: call timed out")
-
-// Call invokes "Service.Method" with arg, storing the result into reply
-// (a non-nil pointer, or nil to discard).
-func (c *Client) Call(method string, arg any, reply any) error {
+// call is the shared call path: send, then wait with an optional deadline.
+// token, when nonzero, is the idempotency token stamped on the request.
+func (c *Client) call(method string, arg, reply any, token uint64, d time.Duration) error {
 	if c.SimulatedRTT > 0 {
 		time.Sleep(c.SimulatedRTT)
 	}
+	c.inflight.Inc()
+	defer c.inflight.Dec()
+
 	c.mu.Lock()
-	if c.closed || c.err != nil {
-		err := c.err
+	cc, err := c.ensureConnLocked()
+	if err != nil {
 		c.mu.Unlock()
-		if err == nil {
-			err = ErrShutdown
-		}
 		return err
 	}
 	c.nextID++
 	id := c.nextID
-	ch := make(chan *response, 1)
-	c.pending[id] = ch
+	pc := &pendingCall{cc: cc, ch: make(chan callResult, 1)}
+	c.pending[id] = pc
 	c.mu.Unlock()
 
-	if err := writeMessage(c.conn, &c.wmu, &request{ID: id, Method: method, Arg: arg}); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return err
+	req := &request{ID: id, Method: method, Arg: arg}
+	if token != 0 {
+		req.Client = c.id
+		req.Token = token
 	}
-	resp := <-ch
+	if err := writeMessage(cc.rwc, &cc.wmu, req); err != nil {
+		c.dropPending(id)
+		// A failed write leaves the stream in an unknown framing state;
+		// the connection is done.
+		c.connFailed(cc, err)
+		return fmt.Errorf("%w: write: %v", ErrDisconnected, err)
+	}
+
+	var res callResult
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case res = <-pc.ch:
+		case <-timer.C:
+			c.dropPending(id)
+			c.timeouts.Inc()
+			return ErrTimeout
+		}
+	} else {
+		res = <-pc.ch
+	}
+	if res.err != nil {
+		return res.err
+	}
+	resp := res.resp
 	if resp.Err != "" {
 		return ServerError(resp.Err)
 	}
@@ -492,19 +818,107 @@ func (c *Client) Call(method string, arg any, reply any) error {
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
 		return fmt.Errorf("rpc: reply must be a non-nil pointer, got %T", reply)
 	}
-	res := reflect.ValueOf(resp.Result)
+	res2 := reflect.ValueOf(resp.Result)
 	switch {
-	case res.Type() == rv.Type():
-		rv.Elem().Set(res.Elem())
-	case res.Type() == rv.Type().Elem():
-		rv.Elem().Set(res)
+	case res2.Type() == rv.Type():
+		rv.Elem().Set(res2.Elem())
+	case res2.Type() == rv.Type().Elem():
+		rv.Elem().Set(res2)
 	default:
 		return fmt.Errorf("rpc: reply type %T does not match result %T", reply, resp.Result)
 	}
 	return nil
 }
 
-// Close shuts the client down; outstanding calls fail.
+// RetryPolicy bounds CallRetry. The zero value picks the defaults noted on
+// each field.
+type RetryPolicy struct {
+	// MaxAttempts caps the number of attempts; 0 means bounded only by
+	// Budget.
+	MaxAttempts int
+	// Budget is the total time the call may consume across attempts and
+	// backoffs; 0 means 2s.
+	Budget time.Duration
+	// BaseDelay is the first backoff; it doubles per attempt. 0 means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means 100ms.
+	MaxDelay time.Duration
+	// PerTry bounds each individual attempt; 0 means the remaining budget,
+	// so a black-holed connection consumes the whole budget in one
+	// attempt. Set it when the transport can wedge silently.
+	PerTry time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Budget <= 0 {
+		p.Budget = 2 * time.Second
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	return p
+}
+
+// CallRetry is Call with at-least-once delivery over a failing network:
+// transport-level failures (ErrDisconnected, ErrTimeout) are retried with
+// exponential backoff and jitter until the policy's budget or attempt cap
+// runs out. Every attempt carries the same idempotency token, so a server
+// that executed a previous attempt replays its response instead of
+// re-executing. Server-side errors are returned immediately — the request
+// executed, and retrying would not change the answer.
+func (c *Client) CallRetry(method string, arg, reply any, p RetryPolicy) error {
+	p = p.withDefaults()
+	deadline := time.Now().Add(p.Budget)
+	token := c.nextToken.Add(1)
+	var err error
+	for attempt := 1; ; attempt++ {
+		d := time.Until(deadline)
+		if d <= 0 {
+			if err == nil {
+				err = ErrTimeout
+			}
+			return fmt.Errorf("rpc: %s: retry budget exhausted after %d attempts: %w", method, attempt-1, err)
+		}
+		if p.PerTry > 0 && p.PerTry < d {
+			d = p.PerTry
+		}
+		err = c.call(method, arg, reply, token, d)
+		if err == nil || !Retryable(err) {
+			return err
+		}
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return fmt.Errorf("rpc: %s: failed after %d attempts: %w", method, attempt, err)
+		}
+		backoff := p.BaseDelay << (attempt - 1)
+		if backoff <= 0 || backoff > p.MaxDelay {
+			backoff = p.MaxDelay
+		}
+		// Jitter in [backoff/2, backoff]: desynchronizes retry storms
+		// without ever shrinking the wait to zero.
+		c.rmu.Lock()
+		backoff = backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+		c.rmu.Unlock()
+		if time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("rpc: %s: retry budget exhausted after %d attempts: %w", method, attempt, err)
+		}
+		c.retries.Inc()
+		time.Sleep(backoff)
+	}
+}
+
+// PendingCalls reports the number of in-flight requests in the pending map
+// (for tests and debugging: a stuck entry here is a leak).
+func (c *Client) PendingCalls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Close shuts the client down; outstanding calls fail with ErrShutdown and
+// no reconnection happens.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -512,8 +926,17 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
+	cc := c.cur
+	c.cur = nil
+	pending := c.pending
+	c.pending = make(map[uint64]*pendingCall)
 	c.mu.Unlock()
-	err := c.conn.Close()
-	c.fail(ErrShutdown)
+	var err error
+	if cc != nil {
+		err = cc.rwc.Close()
+	}
+	for _, pc := range pending {
+		pc.ch <- callResult{err: ErrShutdown}
+	}
 	return err
 }
