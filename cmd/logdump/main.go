@@ -12,6 +12,7 @@
 //	logdump -dir /var/lib/nsd -checkpoint 3 # dump checkpoint3's contents
 //	logdump -dir /var/lib/nsd -stats        # payload-size histograms per log
 //	logdump -dir /var/lib/nsd -stats -log 3 # histogram for one log file
+//	logdump -dir /var/lib/nsd -flight       # decode the flight-recorder ring
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		cpV    = flag.Uint64("checkpoint", 0, "dump the contents of checkpoint<N>")
 		maxLen = flag.Int("max", 0, "dump at most this many log entries (0 = all)")
 		stats  = flag.Bool("stats", false, "print entry-count, byte and payload-size histogram summaries instead of entries")
+		flight = flag.Bool("flight", false, "decode the crash-surviving flight-recorder ring (the black box)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -47,6 +49,8 @@ func main() {
 	}
 
 	switch {
+	case *flight:
+		dumpFlight(fs)
 	case *stats && *logV > 0:
 		statsLogFile(fs, checkpoint.LogName(*logV))
 	case *stats && *archV > 0:
@@ -212,6 +216,23 @@ func dumpLogFile(fs vfs.FS, name string, max int) {
 	}
 	if res.Truncated {
 		fmt.Printf("(torn tail entry discarded at offset %d)\n", res.GoodSize)
+	}
+}
+
+// dumpFlight decodes the durable image of the flight-recorder ring: the
+// last events the daemon recorded before it (or its power) died.
+func dumpFlight(fs vfs.FS) {
+	events, err := obs.ReadFlight(fs, "")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(events) == 0 {
+		fmt.Println("flight recorder: no events")
+		return
+	}
+	fmt.Printf("flight recorder: %d events\n", len(events))
+	for _, e := range events {
+		fmt.Println(e.String())
 	}
 }
 

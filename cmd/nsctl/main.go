@@ -8,6 +8,11 @@
 //	nsctl -addr localhost:7001 list net/hosts
 //	nsctl -addr localhost:7001 enumerate net
 //	nsctl -addr localhost:7001 delete net/hosts/gva
+//	nsctl -addr localhost:7001 trace net/hosts/gva 16.4.0.1
+//
+// The trace command issues one traced set and prints the server-side
+// commit timeline for it — lock wait, pickle, log append and sync, and
+// (on a replicated daemon) the push to each peer with its remote apply.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"os"
 
 	"smalldb/internal/nameserver"
+	"smalldb/internal/obs"
 	"smalldb/internal/rpc"
 )
 
@@ -28,6 +34,9 @@ commands:
   delete <name>            remove name and its subtree
   list <name>              print the child labels under name
   enumerate <name>         print every name=value at or below name
+  trace <name> [value]     set name (to value, or back to its current
+                           value) under a fresh trace and print the
+                           server's commit timeline for it
 `)
 	os.Exit(2)
 }
@@ -83,6 +92,36 @@ func main() {
 		for i, n := range reply.Names {
 			fmt.Printf("%s=%s\n", n, reply.Values[i])
 		}
+	case "trace":
+		if len(rest) != 1 && len(rest) != 2 {
+			usage()
+		}
+		name := rest[0]
+		value := "trace-probe"
+		if len(rest) == 2 {
+			value = rest[1]
+		} else {
+			// Rewrite the current value when there is one, so the probe
+			// does not change the database.
+			var lr nameserver.LookupReply
+			if err := client.Call("NS.Lookup", &nameserver.LookupArgs{Name: name}, &lr); err == nil {
+				value = lr.Value
+			}
+		}
+		sc := obs.NewRootContext()
+		if err := client.CallTraced(sc, "NS.Set", &nameserver.SetArgs{Name: name, Value: value}, &nameserver.SetReply{}); err != nil {
+			fatal("trace: set: %v", err)
+		}
+		var reply nameserver.TraceReply
+		if err := client.Call("Trace.Get", &nameserver.TraceArgs{Trace: uint64(sc.Trace)}, &reply); err != nil {
+			fatal("trace: fetch: %v", err)
+		}
+		events := make([]obs.Event, 0, len(reply.Events))
+		for _, te := range reply.Events {
+			events = append(events, te.Event())
+		}
+		fmt.Printf("trace %016x: %d events\n", uint64(sc.Trace), len(events))
+		obs.WriteTimeline(os.Stdout, events)
 	default:
 		usage()
 	}

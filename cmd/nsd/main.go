@@ -63,13 +63,21 @@ func main() {
 	}
 
 	// The registry is always built (it is one map); -debug decides
-	// whether it is served. The tracer fans out to the slow-op logger
-	// and to the /stats recent-events ring.
+	// whether it is served. The tracer fans out to the /stats
+	// recent-events ring, the span collector behind /debug/trace and the
+	// "Trace" RPC service, the crash-surviving flight recorder in the
+	// database directory, and (with -slow) the slow-op logger.
 	reg := obs.NewRegistry()
 	recorder := obs.NewRecorder(128)
-	var tracer obs.Tracer = recorder
+	traces := obs.NewTraceBuffer(4096)
+	flight, err := obs.OpenFlight(obs.FlightConfig{FS: fs, FlushEvery: 250 * time.Millisecond})
+	if err != nil {
+		log.Fatalf("nsd: flight recorder: %v", err)
+	}
+	defer flight.PanicFlush()
+	var tracer obs.Tracer = obs.Multi(recorder, traces, flight)
 	if *slow > 0 {
-		tracer = obs.Multi(recorder, obs.SlowOps(*slow, log.Printf))
+		tracer = obs.Multi(recorder, traces, flight, obs.SlowOps(*slow, log.Printf))
 	}
 	startTime := time.Now()
 	reg.Register("proc_uptime_seconds", func() any { return int64(time.Since(startTime).Seconds()) })
@@ -77,6 +85,9 @@ func main() {
 
 	srv := rpc.NewServer()
 	srv.Instrument(reg, tracer)
+	if err := srv.Register("Trace", nameserver.NewTraceService(traces)); err != nil {
+		log.Fatalf("nsd: %v", err)
+	}
 	var closer interface{ Close() error }
 
 	if *name == "" {
@@ -121,11 +132,11 @@ func main() {
 
 	var admin *obs.AdminServer
 	if *debug != "" {
-		admin, err = obs.ServeAdmin(*debug, reg, recorder)
+		admin, err = obs.ServeAdminOpts(*debug, reg, obs.MuxOptions{Recorder: recorder, Traces: traces, Flight: flight})
 		if err != nil {
 			log.Fatalf("nsd: debug listen: %v", err)
 		}
-		log.Printf("nsd: debug endpoint on http://%s (/metrics /stats /debug/pprof/)", admin.Addr)
+		log.Printf("nsd: debug endpoint on http://%s (/metrics /stats /debug/trace /debug/flight /debug/pprof/)", admin.Addr)
 	}
 
 	l, err := net.Listen("tcp", *listen)
@@ -146,6 +157,9 @@ func main() {
 	admin.Close()
 	if err := closer.Close(); err != nil {
 		log.Printf("nsd: close: %v", err)
+	}
+	if err := flight.Close(); err != nil {
+		log.Printf("nsd: flight close: %v", err)
 	}
 }
 

@@ -327,6 +327,72 @@ func checkpointStallJSON(seed int64, quick bool) (map[string]any, error) {
 	}, nil
 }
 
+// tracingOverheadMode measures client-observed update latency on a
+// throughput-paced disk under one tracing configuration: tracer absent,
+// tracer set to Nop (the allocation-free disabled path), or a live span
+// collector with every update carrying a fresh root trace (what `nsctl
+// trace` and /debug/trace cost when they are used on every request).
+func tracingOverheadMode(seed int64, ops int, bps int64, tracer obs.Tracer, traced bool) (latJSON, error) {
+	slow := vfs.NewSlow(vfs.NewMem(seed))
+	ns, err := nameserver.Open(nameserver.Config{FS: slow, Tracer: tracer})
+	if err != nil {
+		return latJSON{}, err
+	}
+	defer ns.Close()
+	slow.SetDelay(0, bps)
+	defer slow.SetDelay(0, 0)
+	val := strings.Repeat("x", 1024)
+	lat := make([]time.Duration, 0, ops)
+	for i := 0; i < ops; i++ {
+		name := fmt.Sprintf("trace/dir%d/e%d", i%31, i)
+		t0 := time.Now()
+		if traced {
+			err = ns.SetTraced(name, val, obs.NewRootContext())
+		} else {
+			err = ns.Set(name, val)
+		}
+		if err != nil {
+			return latJSON{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	return summarize(lat), nil
+}
+
+// tracingOverheadJSON compares commit latency with tracing disabled, with
+// the Nop tracer, and with full per-update span collection into a
+// TraceBuffer, reporting the full-collection p99 overhead over disabled.
+func tracingOverheadJSON(seed int64, quick bool) (map[string]any, error) {
+	ops, bps := 2000, int64(16<<20)
+	if quick {
+		ops = 400
+	}
+	disabled, err := tracingOverheadMode(seed, ops, bps, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	nop, err := tracingOverheadMode(seed, ops, bps, obs.Nop, false)
+	if err != nil {
+		return nil, err
+	}
+	full, err := tracingOverheadMode(seed, ops, bps, obs.NewTraceBuffer(4096), true)
+	if err != nil {
+		return nil, err
+	}
+	var pct float64
+	if disabled.P99NS > 0 {
+		pct = 100 * float64(full.P99NS-disabled.P99NS) / float64(disabled.P99NS)
+	}
+	return map[string]any{
+		"updates":            ops,
+		"disk_bytes_per_sec": bps,
+		"disabled":           disabled,
+		"nop":                nop,
+		"full":               full,
+		"p99_overhead_pct":   pct,
+	}, nil
+}
+
 // networkResilienceJSON runs a 2-replica workload through a hostile netsim
 // link — 10% message drop, 10% flaky dials, up to 20ms added delay — with
 // the client driving the NS service on replica "a" via CallRetry. Every
@@ -495,6 +561,10 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 	if err != nil {
 		return err
 	}
+	traceOv, err := tracingOverheadJSON(seed, quick)
+	if err != nil {
+		return err
+	}
 
 	out := map[string]any{
 		"schema":     "smalldb-bench-metrics/v1",
@@ -512,6 +582,7 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 		"checkpoint_stall":   stall,
 		"micro":              micros,
 		"network_resilience": netres,
+		"tracing_overhead":   traceOv,
 		"metrics":            reg.Snapshot(),
 	}
 	f, err := os.Create(path)

@@ -524,8 +524,10 @@ func (s *Store) View(fn func(root any) error) error {
 }
 
 // recordUpdate folds one committed update's phase boundaries into the
-// sums, histograms and counters, and emits the update.commit event.
-func (s *Store) recordUpdate(t0, t1, t2, t3, t4 time.Time, seq uint64, payloadBytes int) {
+// sums, histograms and counters, and emits the update.commit event — as
+// the closing of the update's root span when upd is active (a traced
+// apply), as a flat event otherwise.
+func (s *Store) recordUpdate(t0, t1, t2, t3, t4 time.Time, seq uint64, payloadBytes int, upd obs.Span) {
 	verify, pickling, commit, apply := t1.Sub(t0), t2.Sub(t1), t3.Sub(t2), t4.Sub(t3)
 	s.hist.verify.ObserveDuration(verify)
 	s.hist.pickle.ObserveDuration(pickling)
@@ -540,7 +542,11 @@ func (s *Store) recordUpdate(t0, t1, t2, t3, t4 time.Time, seq uint64, payloadBy
 		st.ApplyTime += apply
 		st.AppliedSeq = seq
 	})
-	obs.Emit(s.tracer, obs.Event{Name: "update.commit", Dur: t4.Sub(t0), Attrs: []obs.Attr{
+	if upd.Active() {
+		upd.End(nil, obs.A("seq", seq), obs.A("bytes", payloadBytes), obs.A("commit", commit.Round(time.Microsecond)))
+		return
+	}
+	obs.Emit(s.tracer, obs.Event{Name: "update.commit", Time: t0, Dur: t4.Sub(t0), Attrs: []obs.Attr{
 		obs.A("seq", seq), obs.A("bytes", payloadBytes), obs.A("commit", commit.Round(time.Microsecond)),
 	}})
 }
@@ -550,11 +556,36 @@ func (s *Store) recordUpdate(t0, t1, t2, t3, t4 time.Time, seq uint64, payloadBy
 // case it is applied and the return still waits for durability, but other
 // updates may share the disk write.
 func (s *Store) Apply(u Update) error {
+	return s.ApplyTraced(u, obs.SpanContext{})
+}
+
+// ApplyTraced is Apply carrying a trace context. When sc belongs to a
+// trace and the store has a tracer, the whole update becomes an
+// "update.commit" span under sc with child spans for each phase of the
+// paper's protocol — lock wait, verify, pickle, WAL append, the durability
+// sync (tagged with the checkpoint mirror when one is open), and the
+// exclusive-mode memory mutation — so a single commit's latency can be
+// read phase by phase off the trace. An invalid sc (or the CoarseLocking
+// ablation) degrades to exactly the untraced path.
+func (s *Store) ApplyTraced(u Update, sc obs.SpanContext) error {
 	if s.cfg.CoarseLocking {
 		return s.applyCoarse(u)
 	}
 
-	s.lock.Update()
+	traced := sc.Trace != 0 && s.tracer != nil && s.tracer != obs.Nop
+	var upd obs.Span
+	var lockStart time.Time
+	if traced {
+		upd = obs.StartSpan(s.tracer, sc, "update.commit")
+		lockStart = time.Now()
+	}
+	uctx := upd.Context()
+	lockWait := s.lock.UpdateWaited()
+	if traced {
+		s.tracer.Emit(obs.Event{Name: "lock.wait", Time: lockStart, Dur: lockWait,
+			Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+			Attrs: []obs.Attr{obs.A("mode", "update")}})
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -597,9 +628,32 @@ func (s *Store) Apply(u Update) error {
 	var commitErr error
 	var wait func() error
 	var seq uint64
-	if s.cfg.GroupCommit {
+	switch {
+	case s.cfg.GroupCommit:
 		seq, wait = log.AppendAsync(payload)
-	} else {
+	case traced:
+		// Split the commit into its two disk-visible halves — framing
+		// into the pending buffer, then the write+sync that makes it
+		// durable — so the trace shows where the commit's time went.
+		// AppendAsync followed by its wait is exactly Append.
+		var syncWait func() error
+		seq, syncWait = log.AppendAsync(payload)
+		tAppend := time.Now()
+		s.tracer.Emit(obs.Event{Name: "wal.append", Time: t2, Dur: tAppend.Sub(t2),
+			Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+			Attrs: []obs.Attr{obs.A("seq", seq), obs.A("bytes", payloadBytes)}})
+		mirror := log.MirrorActive()
+		commitErr = syncWait()
+		tSync := time.Now()
+		s.tracer.Emit(obs.Event{Name: "wal.sync", Time: tAppend, Dur: tSync.Sub(tAppend),
+			Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span, Err: commitErr,
+			Attrs: []obs.Attr{obs.A("seq", seq)}})
+		if mirror {
+			s.tracer.Emit(obs.Event{Name: "checkpoint.mirror", Time: tAppend, Dur: tSync.Sub(tAppend),
+				Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+				Attrs: []obs.Attr{obs.A("dual_write", true)}})
+		}
+	default:
 		seq, commitErr = log.Append(payload)
 	}
 	putPayloadBuf(bufp, payload)
@@ -609,10 +663,22 @@ func (s *Store) Apply(u Update) error {
 		return commitErr
 	}
 	t3 := time.Now()
+	if traced {
+		s.tracer.Emit(obs.Event{Name: "verify", Time: t0, Dur: t1.Sub(t0),
+			Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span})
+		s.tracer.Emit(obs.Event{Name: "pickle", Time: t1, Dur: t2.Sub(t1),
+			Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+			Attrs: []obs.Attr{obs.A("bytes", payloadBytes)}})
+	}
 
 	// Step 3: convert to exclusive and modify the virtual memory
 	// structure.
-	s.lock.Upgrade()
+	upWait := s.lock.UpgradeWaited()
+	if traced && upWait > 0 {
+		s.tracer.Emit(obs.Event{Name: "lock.wait", Time: t3, Dur: upWait,
+			Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+			Attrs: []obs.Attr{obs.A("mode", "upgrade")}})
+	}
 	applyErr := u.Apply(s.root)
 	if applyErr == nil {
 		s.mu.Lock()
@@ -622,6 +688,11 @@ func (s *Store) Apply(u Update) error {
 	}
 	s.lock.ExclusiveUnlock()
 	t4 := time.Now()
+	if traced {
+		s.tracer.Emit(obs.Event{Name: "apply", Time: t3, Dur: t4.Sub(t3),
+			Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+			Attrs: []obs.Attr{obs.A("seq", seq)}})
+	}
 
 	if applyErr != nil {
 		// The entry is (or will be) on disk but memory was not
@@ -639,7 +710,7 @@ func (s *Store) Apply(u Update) error {
 		}
 	}
 
-	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes)
+	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes, upd)
 	s.maybeAutoCheckpoint()
 	return nil
 }
@@ -708,7 +779,7 @@ func (s *Store) applyCoarse(u Update) error {
 	s.mu.Unlock()
 	t4 := time.Now()
 
-	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes)
+	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes, obs.Span{})
 	s.maybeAutoCheckpoint()
 	return nil
 }

@@ -5,11 +5,13 @@ import (
 	"net"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"smalldb/internal/core"
 	"smalldb/internal/nameserver"
+	"smalldb/internal/obs"
 	"smalldb/internal/replica"
 	"smalldb/internal/rpc"
 	"smalldb/internal/vfs"
@@ -280,13 +282,83 @@ func overlapCheckpoint(st *core.Store, cp func() error, doOne func() error, rema
 	return hookErr
 }
 
+// --- flight recorder ---
+
+// flightName is the ring file the torture workloads record into, on the
+// same tortured fs as the store itself.
+const flightName = "flightrec"
+
+// openFlight starts the workload's flight recorder in synchronous mode, so
+// its fs ops are deterministic (reference and crash runs see identical op
+// indices) and every event is durable before the update that emitted it is
+// acknowledged to the harness.
+func openFlight(fs vfs.FS) (*obs.FlightRecorder, error) {
+	return obs.OpenFlight(obs.FlightConfig{FS: fs, Name: flightName, FlushEvery: 0})
+}
+
+// maxCommitSeq scans a decoded flight tail for the newest update.commit
+// sequence; 0 means no commit event survived.
+func maxCommitSeq(events []obs.Event) int {
+	max := 0
+	for _, e := range events {
+		if e.Name != "update.commit" {
+			continue
+		}
+		for _, a := range e.Attrs {
+			if a.Key != "seq" {
+				continue
+			}
+			if v, err := strconv.Atoi(fmt.Sprint(a.Value)); err == nil && v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// checkFlight validates the crash-surviving flight recorder against the
+// acked-prefix oracle on a post-crash durable image. Once any update has
+// been acknowledged the ring must be present and decodable, its tail
+// non-empty, and its newest commit event within [acked-1, attempted]: the
+// lower bound is acked-1 rather than acked because the crash can land on
+// the commit event's own slot write, after the update's log sync already
+// made it durable (and acknowledgeable).
+func (r *runner) checkFlight(n int64, fs vfs.FS, acked, attempted int) []Violation {
+	events, err := obs.ReadFlight(fs, flightName)
+	if err != nil {
+		if acked == 0 {
+			return nil // crashed before the ring header was durable
+		}
+		return []Violation{r.violation(n, "flight: unreadable after crash with %d acked updates: %v", acked, err)}
+	}
+	if acked == 0 {
+		return nil
+	}
+	if len(events) == 0 {
+		return []Violation{r.violation(n, "flight: empty tail after crash with %d acked updates", acked)}
+	}
+	max := maxCommitSeq(events)
+	if max < acked-1 {
+		return []Violation{r.violation(n, "flight: newest commit event is seq %d but %d updates were acknowledged", max, acked)}
+	}
+	if max > attempted {
+		return []Violation{r.violation(n, "flight: phantom commit event seq %d with only %d updates attempted", max, attempted)}
+	}
+	return nil
+}
+
 // --- store mode ---
 
 // runStoreWorkload replays the plan against one store on fs, interleaving
 // checkpoints, stopping at the first error (the crash, in a torture
 // replay).
 func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64) error {
-	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers})
+	fl, err := openFlight(fs)
+	if err != nil {
+		return err // in a torture replay, the crash landed on the ring setup
+	}
+	defer fl.Close()
+	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers, Tracer: fl})
 	if err != nil {
 		return err
 	}
@@ -325,15 +397,17 @@ func (r *runner) storePoint(n int64) []Violation {
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
 	_ = r.runStoreWorkload(ffs, nil, ffs.OpCount) // error is the crash itself
 
-	srv, err := nameserver.Open(nameserver.Config{FS: ffs.Snapshot(), ReplayWorkers: r.cfg.ReplayWorkers})
+	snap := ffs.Snapshot()
+	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
+	out := r.checkFlight(n, snap, acked, attempted)
+
+	srv, err := nameserver.Open(nameserver.Config{FS: snap, ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
-		return []Violation{r.violation(n, "recovery failed: %v", err)}
+		return append(out, r.violation(n, "recovery failed: %v", err))
 	}
 	defer srv.Close()
 
 	recovered := int(srv.Store().AppliedSeq())
-	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
-	var out []Violation
 	// The lower bound holds unconditionally in store mode: with
 	// UnsafeNoSync it is exactly the violation the self-test expects the
 	// harness to catch.
@@ -429,7 +503,12 @@ func dialNode(node *replica.Node) (*rpc.Client, func(), error) {
 // committed update to the peer, checkpointing on the same schedule as
 // store mode.
 func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount func() int64) error {
-	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers})
+	fl, err := openFlight(fs)
+	if err != nil {
+		return err // in a torture replay, the crash landed on the ring setup
+	}
+	defer fl.Close()
+	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers, Tracer: fl})
 	if err != nil {
 		return err
 	}
@@ -475,19 +554,21 @@ func (r *runner) replicaPoint(n int64) []Violation {
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
 	_ = r.runReplicaWorkload(ffs, p, nil, ffs.OpCount) // error is the crash itself
 
-	node, err := replica.Open(replica.Config{Name: "a", FS: ffs.Snapshot(), ReplayWorkers: r.cfg.ReplayWorkers})
+	snap := ffs.Snapshot()
+	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
+	out := r.checkFlight(n, snap, acked, attempted)
+
+	node, err := replica.Open(replica.Config{Name: "a", FS: snap, ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
-		return []Violation{r.violation(n, "recovery failed: %v", err)}
+		return append(out, r.violation(n, "recovery failed: %v", err))
 	}
 	defer node.Close()
 
 	vec, err := node.Vector()
 	if err != nil {
-		return []Violation{r.violation(n, "reading recovered vector: %v", err)}
+		return append(out, r.violation(n, "reading recovered vector: %v", err))
 	}
 	recovered := int(vec["a"])
-	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
-	var out []Violation
 	if !r.cfg.UnsafeNoSync && recovered < acked {
 		out = append(out, r.violation(n, "durability: recovered %d updates but %d were acknowledged", recovered, acked))
 	}
@@ -506,11 +587,30 @@ func (r *runner) replicaPoint(n int64) []Violation {
 	// window but died before its push (with the mirror-window
 	// checkpoint, an update can be durable in the old log yet
 	// unacknowledged until the new log's sync, so recovery may surface
-	// acked+1 updates). Both replicas must then agree on the longer of
-	// the two prefixes.
+	// acked+1 updates). The peer can likewise hold one update past the
+	// acked prefix: the flight-recorder write between the log sync and
+	// the ack is a crash point, and a crash there still lets the
+	// already-durable update's push go out. Both replicas must agree on
+	// the longest of the three prefixes, and the peer must never have
+	// dropped an acknowledged update.
+	pvec, err := p.node.Vector()
+	if err != nil {
+		return append(out, r.violation(n, "harness: reading peer vector: %v", err))
+	}
+	peerHas := int(pvec["a"])
+	if peerHas < acked {
+		out = append(out, r.violation(n, "durability: peer holds %d updates but %d were acknowledged", peerHas, acked))
+	}
+	if peerHas > attempted {
+		out = append(out, r.violation(n, "phantom: peer holds %d updates but only %d were attempted", peerHas, attempted))
+		return out
+	}
 	upto := recovered
 	if acked > upto {
 		upto = acked
+	}
+	if peerHas > upto {
+		upto = peerHas
 	}
 	client := p.dial()
 	node.AddPeer("b", client)

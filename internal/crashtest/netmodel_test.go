@@ -116,12 +116,12 @@ func TestModelOracle(t *testing.T) {
 	nw := netsim.New(seed, netsim.Options{Profile: hostileProfile})
 	defer nw.Close()
 	ffs := faultfs.New(vfs.NewMem(seed), faultfs.Options{CrashAt: faultfs.Never})
-	a, err := openNetNode(nw, "a", ffs)
+	a, err := openNetNode(nw, "a", ffs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() { a.close() }()
-	b, err := openNetNode(nw, "b", vfs.NewMem(seed+1))
+	b, err := openNetNode(nw, "b", vfs.NewMem(seed+1), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestModelOracle(t *testing.T) {
 			// the full prefix.
 			frozen := ffs.Snapshot()
 			a.close()
-			restarted, err := openNetNode(nw, "a", frozen)
+			restarted, err := openNetNode(nw, "a", frozen, nil)
 			if err != nil {
 				t.Fatalf("restart of node a: %v", err)
 			}

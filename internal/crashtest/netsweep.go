@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"smalldb/internal/netsim"
+	"smalldb/internal/obs"
 	"smalldb/internal/replica"
 	"smalldb/internal/rpc"
 	"smalldb/internal/vfs"
@@ -148,6 +149,26 @@ func (r *netRunner) violation(k int, format string, args ...any) Violation {
 	return Violation{Seed: r.cfg.Seed, Mode: ModeNet, Point: int64(k), Msg: fmt.Sprintf(format, args...)}
 }
 
+// checkNetFlight validates node "a"'s flight ring on a durable image taken
+// at a point where ackedTo updates have been acknowledged: decodable,
+// non-empty, newest commit event within one of the acked count (the
+// recorder syncs each slot, so only a crash landing on the newest slot's
+// own write can lose it — and the partition sweep freezes between ops, so
+// in practice the newest commit is exactly ackedTo).
+func (r *netRunner) checkNetFlight(k int, fs vfs.FS, ackedTo int) []Violation {
+	events, err := obs.ReadFlight(fs, flightName)
+	if err != nil {
+		return []Violation{r.violation(k, "flight: unreadable on the durable image: %v", err)}
+	}
+	if len(events) == 0 {
+		return []Violation{r.violation(k, "flight: empty tail with %d acked updates", ackedTo)}
+	}
+	if max := maxCommitSeq(events); max < ackedTo-1 || max > ackedTo {
+		return []Violation{r.violation(k, "flight: newest commit event is seq %d but %d updates were acknowledged", max, ackedTo)}
+	}
+	return nil
+}
+
 // netNode is one replica endpoint inside a point's private network.
 type netNode struct {
 	node *replica.Node
@@ -155,8 +176,8 @@ type netNode struct {
 	l    *netsim.Listener
 }
 
-func openNetNode(nw *netsim.Network, name string, fs vfs.FS) (*netNode, error) {
-	node, err := replica.Open(replica.Config{Name: name, FS: fs, HistoryCap: 10000, PushPolicy: netPolicy, SyncPolicy: netPolicy})
+func openNetNode(nw *netsim.Network, name string, fs vfs.FS, tracer obs.Tracer) (*netNode, error) {
+	node, err := replica.Open(replica.Config{Name: name, FS: fs, HistoryCap: 10000, PushPolicy: netPolicy, SyncPolicy: netPolicy, Tracer: tracer})
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +228,12 @@ func (r *netRunner) netPoint(k int) []Violation {
 	defer nw.Close()
 
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: faultfs.Never})
-	a, err := openNetNode(nw, "a", ffs)
+	fl, err := openFlight(ffs)
+	if err != nil {
+		return []Violation{r.violation(k, "harness: opening flight recorder: %v", err)}
+	}
+	defer fl.Close()
+	a, err := openNetNode(nw, "a", ffs, fl)
 	if err != nil {
 		return []Violation{r.violation(k, "harness: opening node a: %v", err)}
 	}
@@ -216,7 +242,7 @@ func (r *netRunner) netPoint(k int) []Violation {
 			a.close()
 		}
 	}()
-	b, err := openNetNode(nw, "b", vfs.NewMem(r.cfg.Seed+1))
+	b, err := openNetNode(nw, "b", vfs.NewMem(r.cfg.Seed+1), nil)
 	if err != nil {
 		return []Violation{r.violation(k, "harness: opening node b: %v", err)}
 	}
@@ -246,11 +272,17 @@ func (r *netRunner) netPoint(k int) []Violation {
 
 	if r.cfg.Crash {
 		// Power-fail "a": freeze its synced-only durable image and
-		// restart from it, as the disk sweep does.
+		// restart from it, as the disk sweep does. The frozen image must
+		// hold a decodable flight ring whose newest commit event covers
+		// the updates acked during the partition (the recorder syncs each
+		// slot before the commit that emitted it is acknowledged).
 		frozen := ffs.Snapshot()
 		a.close()
 		a = nil
-		restarted, err := openNetNode(nw, "a", frozen)
+		if vs := r.checkNetFlight(k, frozen, ackedTo); vs != nil {
+			return vs
+		}
+		restarted, err := openNetNode(nw, "a", frozen, nil)
 		if err != nil {
 			return []Violation{r.violation(k, "recovery of the acking node failed: %v", err)}
 		}
@@ -282,7 +314,15 @@ func (r *netRunner) netPoint(k int) []Violation {
 			return []Violation{r.violation(k, "post-heal update %d not acknowledged: %v", i, err)}
 		}
 	}
-	return r.converge(k, a, b, abClient, baClient, len(r.plan.updates), "after finishing the workload")
+	if vs := r.converge(k, a, b, abClient, baClient, len(r.plan.updates), "after finishing the workload"); vs != nil {
+		return vs
+	}
+	if !r.cfg.Crash {
+		// Without a crash "a" records the whole workload; its durable ring
+		// must decode and cover every acknowledged update.
+		return r.checkNetFlight(k, ffs.Snapshot(), len(r.plan.updates))
+	}
+	return nil
 }
 
 // converge runs anti-entropy both ways and checks both replicas against the

@@ -1,6 +1,7 @@
 package nameserver
 
 import (
+	"smalldb/internal/obs"
 	"smalldb/internal/pickle"
 )
 
@@ -33,9 +34,10 @@ type SetArgs struct{ Name, Value string }
 // SetReply is empty.
 type SetReply struct{}
 
-// Set is the remote update.
-func (s *RPCService) Set(args *SetArgs, reply *SetReply) error {
-	return s.srv.Set(args.Name, args.Value)
+// Set is the remote update. It takes the rpc layer's span context so a
+// traced request's commit timeline chains under the caller's trace.
+func (s *RPCService) Set(args *SetArgs, reply *SetReply, sc obs.SpanContext) error {
+	return s.srv.SetTraced(args.Name, args.Value, sc)
 }
 
 // DeleteArgs names a subtree.
@@ -45,8 +47,8 @@ type DeleteArgs struct{ Name string }
 type DeleteReply struct{}
 
 // Delete removes a subtree remotely.
-func (s *RPCService) Delete(args *DeleteArgs, reply *DeleteReply) error {
-	return s.srv.Delete(args.Name)
+func (s *RPCService) Delete(args *DeleteArgs, reply *DeleteReply, sc obs.SpanContext) error {
+	return s.srv.DeleteTraced(args.Name, sc)
 }
 
 // ListArgs names a node.

@@ -1,0 +1,92 @@
+package nameserver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smalldb/internal/obs"
+	"smalldb/internal/pickle"
+)
+
+// TraceService exposes a span collector over rpc, so a client that just
+// issued a traced update (`nsctl trace`) can pull the server-side timeline
+// for its trace ID without touching the debug HTTP endpoint. Register it
+// as "Trace".
+type TraceService struct {
+	buf *obs.TraceBuffer
+}
+
+// NewTraceService wraps a trace buffer for remote access.
+func NewTraceService(buf *obs.TraceBuffer) *TraceService { return &TraceService{buf: buf} }
+
+// TraceArgs names one trace.
+type TraceArgs struct{ Trace uint64 }
+
+// TraceEvent is one span, flattened for the wire: times as UnixNano,
+// durations as nanoseconds, attributes pre-rendered.
+type TraceEvent struct {
+	Name   string
+	Start  int64
+	DurNS  int64
+	Trace  uint64
+	Span   uint64
+	Parent uint64
+	Err    string
+	Keys   []string
+	Vals   []string
+}
+
+// TraceReply carries a trace's events, oldest first.
+type TraceReply struct{ Events []TraceEvent }
+
+// Get returns the collected events for one trace.
+func (s *TraceService) Get(args *TraceArgs, reply *TraceReply) error {
+	for _, e := range s.buf.Trace(obs.TraceID(args.Trace)) {
+		te := TraceEvent{
+			Name:   e.Name,
+			Start:  e.Time.UnixNano(),
+			DurNS:  int64(e.Dur),
+			Trace:  uint64(e.Trace),
+			Span:   uint64(e.Span),
+			Parent: uint64(e.Parent),
+		}
+		if e.Err != nil {
+			te.Err = e.Err.Error()
+		}
+		for _, a := range e.Attrs {
+			te.Keys = append(te.Keys, a.Key)
+			te.Vals = append(te.Vals, fmt.Sprint(a.Value))
+		}
+		reply.Events = append(reply.Events, te)
+	}
+	return nil
+}
+
+// Event reconstructs the obs.Event a TraceEvent was flattened from, for
+// rendering with obs.WriteTimeline on the client side.
+func (te TraceEvent) Event() obs.Event {
+	e := obs.Event{
+		Name:   te.Name,
+		Time:   time.Unix(0, te.Start),
+		Dur:    time.Duration(te.DurNS),
+		Trace:  obs.TraceID(te.Trace),
+		Span:   obs.SpanID(te.Span),
+		Parent: obs.SpanID(te.Parent),
+	}
+	if te.Err != "" {
+		e.Err = errors.New(te.Err)
+	}
+	for i, k := range te.Keys {
+		if i < len(te.Vals) {
+			e.Attrs = append(e.Attrs, obs.A(k, te.Vals[i]))
+		}
+	}
+	return e
+}
+
+func init() {
+	pickle.Register(&TraceArgs{})
+	pickle.Register(&TraceReply{})
+	pickle.Register(&TraceEvent{})
+}

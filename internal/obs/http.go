@@ -6,21 +6,40 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strconv"
 	"time"
 )
 
-// Mux builds the admin HTTP mux for a registry:
+// MuxOptions selects the optional data sources behind the admin mux.
+type MuxOptions struct {
+	// Recorder, if non-nil, supplies the recent-events section of /stats.
+	Recorder *Recorder
+	// Traces, if non-nil, serves /debug/trace: recent traces, and a full
+	// per-trace timeline with ?id=<hex trace id>.
+	Traces *TraceBuffer
+	// Flight, if non-nil, serves /debug/flight: the live in-memory tail of
+	// the crash-surviving flight recorder.
+	Flight *FlightRecorder
+}
+
+// Mux builds the admin HTTP mux for a registry with only a recent-events
+// recorder attached; see NewMux for the full option set.
+func Mux(r *Registry, rec *Recorder) *http.ServeMux {
+	return NewMux(r, MuxOptions{Recorder: rec})
+}
+
+// NewMux builds the admin HTTP mux for a registry:
 //
 //	/metrics       registry snapshot as JSON (counters, gauges, histogram
 //	               percentile summaries)
 //	/stats         the same, human-readable (durations and sizes formatted,
 //	               ASCII bucket bars with ?buckets=1)
+//	/debug/trace   recent traces; ?id=<hex> renders one commit timeline
+//	/debug/flight  the flight recorder's in-memory tail
 //	/debug/pprof/  the standard Go profiling endpoints
 //	/debug/vars    expvar (the registry is published there too)
-//
-// rec, if non-nil, is a Recorder whose recent events are appended to the
-// /stats page.
-func Mux(r *Registry, rec *Recorder) *http.ServeMux {
+func NewMux(r *Registry, opts MuxOptions) *http.ServeMux {
+	rec := opts.Recorder
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -53,6 +72,55 @@ func Mux(r *Registry, rec *Recorder) *http.ServeMux {
 			}
 		}
 	})
+	if opts.Traces != nil {
+		tb := opts.Traces
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if idStr := req.URL.Query().Get("id"); idStr != "" {
+				id, err := strconv.ParseUint(idStr, 16, 64)
+				if err != nil {
+					http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+					return
+				}
+				evs := tb.Trace(TraceID(id))
+				if len(evs) == 0 {
+					fmt.Fprintf(w, "trace %016x: no events\n", id)
+					return
+				}
+				fmt.Fprintf(w, "trace %016x (%d events)\n\n", id, len(evs))
+				WriteTimeline(w, evs)
+				return
+			}
+			ts := tb.Traces()
+			if len(ts) == 0 {
+				fmt.Fprintf(w, "no traces recorded\n")
+				return
+			}
+			fmt.Fprintf(w, "recent traces (newest first; ?id=<trace> for the timeline):\n\n")
+			for _, t := range ts {
+				fmt.Fprintf(w, "  %016x  %-24s %3d events", uint64(t.Trace), t.Root, t.Events)
+				if !t.Start.IsZero() {
+					fmt.Fprintf(w, "  %s", t.Start.Format("15:04:05.000000"))
+				}
+				fmt.Fprintln(w)
+			}
+		})
+	}
+	if opts.Flight != nil {
+		fr := opts.Flight
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			evs := fr.Events()
+			if len(evs) == 0 {
+				fmt.Fprintf(w, "no flight events\n")
+				return
+			}
+			fmt.Fprintf(w, "flight recorder tail (%d events, oldest first):\n\n", len(evs))
+			for _, e := range evs {
+				fmt.Fprintf(w, "  %s\n", e)
+			}
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -64,7 +132,7 @@ func Mux(r *Registry, rec *Recorder) *http.ServeMux {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprintf(w, "smalldb debug endpoint\n\n/metrics\n/stats (?buckets=1 for distributions)\n/debug/pprof/\n/debug/vars\n")
+		fmt.Fprintf(w, "smalldb debug endpoint\n\n/metrics\n/stats (?buckets=1 for distributions)\n/debug/trace (?id=<trace> for a timeline)\n/debug/flight\n/debug/pprof/\n/debug/vars\n")
 	})
 	return mux
 }
@@ -93,12 +161,18 @@ type AdminServer struct {
 // expvar as a side effect. It returns once the listener is bound; serving
 // continues in a background goroutine until Close.
 func ServeAdmin(addr string, r *Registry, rec *Recorder) (*AdminServer, error) {
+	return ServeAdminOpts(addr, r, MuxOptions{Recorder: rec})
+}
+
+// ServeAdminOpts is ServeAdmin with the full option set (trace buffer,
+// flight recorder).
+func ServeAdminOpts(addr string, r *Registry, opts MuxOptions) (*AdminServer, error) {
 	r.PublishExpvar("smalldb_")
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Mux(r, rec), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: NewMux(r, opts), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &AdminServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is on; allocation-ceiling
+// tests skip under it (instrumentation adds allocations).
+const raceEnabled = true

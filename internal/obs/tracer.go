@@ -11,11 +11,21 @@ import (
 // checkpoint started or finished, replay progress, a log flush, a lock
 // wait, an RPC call, a replica push or anti-entropy round. Dur is zero for
 // instantaneous events; Err is nil for successful ones.
+//
+// Time is when the event began (for a span, its start; Time+Dur is its
+// end). Trace/Span/Parent place the event in a causal trace: all events of
+// one logical operation share a Trace, each span has its own Span ID, and
+// Parent links it to the enclosing span. All three are zero for plain
+// untraced events.
 type Event struct {
-	Name  string
-	Dur   time.Duration
-	Err   error
-	Attrs []Attr
+	Name   string
+	Time   time.Time
+	Dur    time.Duration
+	Err    error
+	Trace  TraceID
+	Span   SpanID
+	Parent SpanID
+	Attrs  []Attr
 }
 
 // An Attr is one key/value annotation on an event.
@@ -27,12 +37,20 @@ type Attr struct {
 // A formats an attribute.
 func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
 
-// String renders the event on one line: name, duration, error, attributes.
+// String renders the event on one line: timestamp, name, duration, error,
+// attributes.
 func (e Event) String() string {
 	var b strings.Builder
+	if !e.Time.IsZero() {
+		b.WriteString(e.Time.Format("15:04:05.000000"))
+		b.WriteByte(' ')
+	}
 	b.WriteString(e.Name)
 	if e.Dur != 0 {
 		fmt.Fprintf(&b, " dur=%v", e.Dur.Round(time.Microsecond))
+	}
+	if e.Trace != 0 {
+		fmt.Fprintf(&b, " trace=%016x", uint64(e.Trace))
 	}
 	for _, a := range e.Attrs {
 		fmt.Fprintf(&b, " %s=%v", a.Key, a.Value)
@@ -56,12 +74,18 @@ type nopTracer struct{}
 
 func (nopTracer) Emit(Event) {}
 
-// Emit sends e to t if t is non-nil — the helper subsystems use so an
-// unconfigured tracer costs one nil check.
+// Emit sends e to t if t is non-nil and not Nop — the helper subsystems use
+// so an unconfigured tracer costs one nil check. The event's Time is
+// stamped at emit when the caller left it zero, so every recorded event is
+// dated without each call site naming the clock.
 func Emit(t Tracer, e Event) {
-	if t != nil {
-		t.Emit(e)
+	if t == nil || t == Nop {
+		return
 	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	t.Emit(e)
 }
 
 // FuncTracer adapts a function to the Tracer interface.
@@ -71,11 +95,17 @@ type FuncTracer func(Event)
 func (f FuncTracer) Emit(e Event) { f(e) }
 
 // Multi fans every event out to each tracer in order; nil entries are
-// skipped, and an empty set behaves as Nop.
+// skipped, nested Multi results are flattened (so composing tracers in
+// layers costs one dispatch, not a chain), and an empty set behaves as Nop.
 func Multi(ts ...Tracer) Tracer {
 	var live []Tracer
 	for _, t := range ts {
-		if t != nil && t != Nop {
+		switch t := t.(type) {
+		case nil:
+		case nopTracer:
+		case multiTracer:
+			live = append(live, t...)
+		default:
 			live = append(live, t)
 		}
 	}
@@ -98,13 +128,23 @@ func (m multiTracer) Emit(e Event) {
 
 // SlowOps returns a tracer that forwards to logf only the events whose
 // duration meets threshold or that carry an error — the "why was that
-// update slow" tracer a production daemon runs by default.
+// update slow" tracer a production daemon runs by default. Filtered events
+// pay only the comparison: no formatting, no allocation.
 func SlowOps(threshold time.Duration, logf func(format string, args ...any)) Tracer {
-	return FuncTracer(func(e Event) {
-		if e.Err != nil || (e.Dur >= threshold && e.Dur > 0) {
-			logf("obs: slow op: %s", e)
-		}
-	})
+	return &slowOps{threshold: threshold, logf: logf}
+}
+
+type slowOps struct {
+	threshold time.Duration
+	logf      func(format string, args ...any)
+}
+
+// Emit implements Tracer.
+func (s *slowOps) Emit(e Event) {
+	if e.Err == nil && (e.Dur < s.threshold || e.Dur <= 0) {
+		return
+	}
+	s.logf("obs: slow op: %s", e.String())
 }
 
 // A Recorder is a tracer that keeps the last N events in a ring, for tests

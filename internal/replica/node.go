@@ -139,8 +139,10 @@ func (n *Node) Name() string { return n.name }
 // Store exposes the underlying store.
 func (n *Node) Store() *core.Store { return n.store }
 
-// AddPeer connects this node to a peer's RPC endpoint.
+// AddPeer connects this node to a peer's RPC endpoint. The client adopts
+// the node's tracer so retrying pushes record per-attempt spans.
 func (n *Node) AddPeer(name string, client *rpc.Client) {
+	client.SetTracer(n.tracer)
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.peers[name] = client
@@ -152,6 +154,13 @@ func (n *Node) AddPeer(name string, client *rpc.Client) {
 // sequence number) and then pushes it to every peer, best-effort: a peer
 // that is down catches up later through anti-entropy.
 func (n *Node) Apply(inner core.Update) error {
+	return n.ApplyTraced(inner, obs.SpanContext{})
+}
+
+// ApplyTraced is Apply under a trace context: the local commit's phase
+// spans, the per-peer push (with its rpc attempts), and the peer's remote
+// apply all land in the caller's trace.
+func (n *Node) ApplyTraced(inner core.Update, sc obs.SpanContext) error {
 	n.mu.Lock()
 	var seq, stamp uint64
 	err := n.store.View(func(root any) error {
@@ -168,7 +177,7 @@ func (n *Node) Apply(inner core.Update) error {
 		return err
 	}
 	ru := &Replicated{Origin: n.name, Seq: seq, Stamp: stamp, Inner: inner}
-	err = n.store.Apply(ru)
+	err = n.store.ApplyTraced(ru, sc)
 	peers := make([]*rpc.Client, 0, len(n.peers))
 	for _, p := range n.peers {
 		peers = append(peers, p)
@@ -180,8 +189,15 @@ func (n *Node) Apply(inner core.Update) error {
 	committed := time.Now()
 	entry := Entry{Origin: n.name, Seq: seq, Stamp: stamp, Inner: inner}
 	for _, p := range peers {
+		// The push is a child span of the caller's trace, and its own
+		// context rides the wire so the peer's apply joins the trace too.
+		pspan := obs.StartSpan(n.tracer, sc, "replica.push")
+		wire := sc
+		if pspan.Active() {
+			wire = pspan.Context()
+		}
 		var reply PushReply
-		perr := p.CallRetry("Replica.Push", &PushArgs{Entries: []Entry{entry}}, &reply, n.pushPolicy)
+		perr := p.CallRetryTraced(wire, "Replica.Push", &PushArgs{Entries: []Entry{entry}}, &reply, n.pushPolicy)
 		n.m.pushes.Inc()
 		if perr != nil {
 			n.m.pushErrors.Inc()
@@ -190,9 +206,27 @@ func (n *Node) Apply(inner core.Update) error {
 			// point and its acknowledgement of the propagated update.
 			n.m.pushLag.ObserveSince(committed)
 		}
-		obs.Emit(n.tracer, obs.Event{Name: "replica.push", Dur: time.Since(committed), Err: perr, Attrs: []obs.Attr{
-			obs.A("origin", n.name), obs.A("seq", seq),
-		}})
+		if pspan.Active() {
+			pspan.End(perr, obs.A("origin", n.name), obs.A("seq", seq), obs.A("peer", reply.Node))
+			if perr == nil && reply.Node != "" {
+				// Echo the peer's apply time into our own collector so the
+				// single-node timeline shows the remote side of the push.
+				d := time.Duration(reply.ApplyNS)
+				n.tracer.Emit(obs.Event{
+					Name:   "replica.remote_apply",
+					Time:   time.Now().Add(-d),
+					Dur:    d,
+					Trace:  wire.Trace,
+					Span:   obs.NewSpanID(),
+					Parent: wire.Span,
+					Attrs:  []obs.Attr{obs.A("node", reply.Node), obs.A("applied", reply.Applied)},
+				})
+			}
+		} else {
+			obs.Emit(n.tracer, obs.Event{Name: "replica.push", Dur: time.Since(committed), Err: perr, Attrs: []obs.Attr{
+				obs.A("origin", n.name), obs.A("seq", seq),
+			}})
+		}
 	}
 	return nil
 }
@@ -201,20 +235,30 @@ func (n *Node) Apply(inner core.Update) error {
 
 // Set binds value to name in the replicated tree.
 func (n *Node) Set(name, value string) error {
+	return n.SetTraced(name, value, obs.SpanContext{})
+}
+
+// SetTraced is Set under a trace context.
+func (n *Node) SetTraced(name, value string, sc obs.SpanContext) error {
 	parts, err := nameserver.SplitPath(name)
 	if err != nil {
 		return err
 	}
-	return n.Apply(&nameserver.SetValue{Path: parts, Value: value})
+	return n.ApplyTraced(&nameserver.SetValue{Path: parts, Value: value}, sc)
 }
 
 // Delete removes name and its subtree.
 func (n *Node) Delete(name string) error {
+	return n.DeleteTraced(name, obs.SpanContext{})
+}
+
+// DeleteTraced is Delete under a trace context.
+func (n *Node) DeleteTraced(name string, sc obs.SpanContext) error {
 	parts, err := nameserver.SplitPath(name)
 	if err != nil {
 		return err
 	}
-	return n.Apply(&nameserver.DeleteSubtree{Path: parts})
+	return n.ApplyTraced(&nameserver.DeleteSubtree{Path: parts}, sc)
 }
 
 // Lookup reads the value bound to name.
@@ -275,8 +319,14 @@ func (n *Node) Vector() (map[string]uint64, error) {
 // ones and stopping an origin's run at a gap. It reports how many entries
 // were newly applied.
 func (n *Node) applyEntries(entries []Entry) (applied int, err error) {
+	return n.applyEntriesTraced(entries, obs.SpanContext{})
+}
+
+// applyEntriesTraced is applyEntries under a trace context: each entry's
+// local commit records its phase spans into the pushing side's trace.
+func (n *Node) applyEntriesTraced(entries []Entry, sc obs.SpanContext) (applied int, err error) {
 	for _, e := range entries {
-		aerr := n.store.Apply(&Replicated{Origin: e.Origin, Seq: e.Seq, Stamp: e.Stamp, Inner: e.Inner})
+		aerr := n.store.ApplyTraced(&Replicated{Origin: e.Origin, Seq: e.Seq, Stamp: e.Stamp, Inner: e.Inner}, sc)
 		switch {
 		case aerr == nil:
 			applied++
@@ -301,37 +351,44 @@ func (n *Node) applyEntries(entries []Entry) (applied int, err error) {
 // peer's history has been trimmed past what we need, it falls back to a
 // full snapshot transfer.
 func (n *Node) SyncWith(client *rpc.Client) error {
+	// An anti-entropy round is its own trace root: the pull, any snapshot
+	// transfer, and every repaired entry's commit chain under it.
+	root := obs.StartRoot(n.tracer, "replica.antientropy")
 	start := time.Now()
-	applied, full, err := n.syncWith(client)
+	applied, full, err := n.syncWith(client, root.Context())
 	if err != nil {
 		n.m.aeErrors.Inc()
 	} else {
 		n.m.aeRounds.Inc()
 		n.m.aeApplied.Add(uint64(applied))
 	}
-	obs.Emit(n.tracer, obs.Event{Name: "replica.antientropy", Dur: time.Since(start), Err: err, Attrs: []obs.Attr{
-		obs.A("applied", applied), obs.A("full_snapshot", full),
-	}})
+	if root.Active() {
+		root.End(err, obs.A("applied", applied), obs.A("full_snapshot", full))
+	} else {
+		obs.Emit(n.tracer, obs.Event{Name: "replica.antientropy", Dur: time.Since(start), Err: err, Attrs: []obs.Attr{
+			obs.A("applied", applied), obs.A("full_snapshot", full),
+		}})
+	}
 	return err
 }
 
-func (n *Node) syncWith(client *rpc.Client) (applied int, full bool, err error) {
+func (n *Node) syncWith(client *rpc.Client, sc obs.SpanContext) (applied int, full bool, err error) {
 	vec, err := n.Vector()
 	if err != nil {
 		return 0, false, err
 	}
 	var reply PullReply
-	if err := client.CallRetry("Replica.Pull", &PullArgs{Vector: vec}, &reply, n.syncPolicy); err != nil {
+	if err := client.CallRetryTraced(sc, "Replica.Pull", &PullArgs{Vector: vec}, &reply, n.syncPolicy); err != nil {
 		return 0, false, err
 	}
 	if reply.NeedFull {
 		var snap SnapshotReply
-		if err := client.CallRetry("Replica.Snapshot", &SnapshotArgs{}, &snap, n.syncPolicy); err != nil {
+		if err := client.CallRetryTraced(sc, "Replica.Snapshot", &SnapshotArgs{}, &snap, n.syncPolicy); err != nil {
 			return 0, true, err
 		}
 		return 0, true, n.installSnapshot(snap.Root)
 	}
-	applied, err = n.applyEntries(reply.Entries)
+	applied, err = n.applyEntriesTraced(reply.Entries, sc)
 	return applied, false, err
 }
 
@@ -466,15 +523,24 @@ type PushArgs struct {
 	Entries []Entry
 }
 
-// PushReply reports how many entries were newly applied.
+// PushReply reports how many entries were newly applied, which node
+// applied them, and how long the remote apply took — the origin echoes
+// Node/ApplyNS into its trace as the remote half of the push.
 type PushReply struct {
 	Applied int
+	Node    string
+	ApplyNS int64
 }
 
-// Push applies propagated updates.
-func (s *Service) Push(args *PushArgs, reply *PushReply) error {
-	applied, err := s.node.applyEntries(args.Entries)
+// Push applies propagated updates. It takes the rpc layer's span context,
+// so a traced push records the remote applies into this node's collector
+// under the origin's trace ID.
+func (s *Service) Push(args *PushArgs, reply *PushReply, sc obs.SpanContext) error {
+	start := time.Now()
+	applied, err := s.node.applyEntriesTraced(args.Entries, sc)
 	reply.Applied = applied
+	reply.Node = s.node.name
+	reply.ApplyNS = int64(time.Since(start))
 	return err
 }
 

@@ -1,6 +1,9 @@
 package replica
 
-import "smalldb/internal/nameserver"
+import (
+	"smalldb/internal/nameserver"
+	"smalldb/internal/obs"
+)
 
 // NSService adapts a replica node to the same "NS" RPC service an
 // unreplicated name server exposes, so clients (nsctl, benchmarks) talk to
@@ -21,12 +24,13 @@ func (s *NSService) Lookup(args *nameserver.LookupArgs, reply *nameserver.Lookup
 	return err
 }
 
-// Set serves the remote update.
-func (s *NSService) Set(args *nameserver.SetArgs, reply *nameserver.SetReply) error {
-	return s.node.Set(args.Name, args.Value)
+// Set serves the remote update, carrying the caller's trace through the
+// local commit and on to the peer push.
+func (s *NSService) Set(args *nameserver.SetArgs, reply *nameserver.SetReply, sc obs.SpanContext) error {
+	return s.node.SetTraced(args.Name, args.Value, sc)
 }
 
 // Delete serves the remote delete.
-func (s *NSService) Delete(args *nameserver.DeleteArgs, reply *nameserver.DeleteReply) error {
-	return s.node.Delete(args.Name)
+func (s *NSService) Delete(args *nameserver.DeleteArgs, reply *nameserver.DeleteReply, sc obs.SpanContext) error {
+	return s.node.DeleteTraced(args.Name, sc)
 }

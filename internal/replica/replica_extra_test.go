@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"smalldb/internal/nameserver"
+	"smalldb/internal/obs"
 )
 
 // Property: under any interleaving of local updates and pairwise syncs,
@@ -111,11 +112,11 @@ func TestPushBatchAppliesInOrder(t *testing.T) {
 	// check, so only the in-order prefix lands; a second push completes.
 	shuffled := []Entry{entries[1], entries[0], entries[2], entries[4], entries[3]}
 	var reply PushReply
-	if err := svc.Push(&PushArgs{Entries: shuffled}, &reply); err != nil {
+	if err := svc.Push(&PushArgs{Entries: shuffled}, &reply, obs.SpanContext{}); err != nil {
 		t.Fatal(err)
 	}
 	var second PushReply
-	if err := svc.Push(&PushArgs{Entries: entries}, &second); err != nil {
+	if err := svc.Push(&PushArgs{Entries: entries}, &second, obs.SpanContext{}); err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 5; i++ {

@@ -7,13 +7,26 @@ import (
 	"sync"
 	"testing"
 
+	"smalldb/internal/obs"
 	"smalldb/internal/pickle"
 )
 
-// frameBytes builds a well-formed frame around payload.
+// frameBytes builds a well-formed untraced frame around payload.
 func frameBytes(payload []byte) []byte {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	return append(hdr[:n], payload...)
+}
+
+// tracedFrameBytes builds a frame carrying the trace-context extension.
+func tracedFrameBytes(payload []byte, sc obs.SpanContext) []byte {
+	var hdr [4 * binary.MaxVarintLen64]byte
+	n := 0
+	hdr[n] = 0
+	n++
+	n += binary.PutUvarint(hdr[n:], uint64(sc.Trace))
+	n += binary.PutUvarint(hdr[n:], uint64(sc.Span))
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
 	return append(hdr[:n], payload...)
 }
 
@@ -21,19 +34,24 @@ func frameBytes(payload []byte) []byte {
 // full message decoder. Truncated, garbage, or oversized frames must
 // error — never panic, hang, or allocate anywhere near the claimed length.
 func FuzzDecodeFrame(f *testing.F) {
-	// Seed corpus: a valid request frame, empty input, a truncated frame,
-	// an oversized length claim, and a zero-length frame.
+	// Seed corpus: a valid request frame, the same frame with a trace
+	// context, empty input, a truncated frame, an oversized length claim,
+	// and a bare extension sentinel (a zero length with nothing after it).
 	valid, err := pickle.Marshal(&request{ID: 1, Method: "NS.Lookup", Client: "c1", Token: 7})
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(frameBytes(valid))
+	f.Add(tracedFrameBytes(valid, obs.SpanContext{Trace: 0xdeadbeef, Span: 0x1234}))
 	f.Add([]byte{})
 	f.Add(frameBytes(valid)[:3])
 	var huge [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(huge[:], maxMessage+1)
 	f.Add(huge[:n])
-	f.Add(frameBytes(nil))
+	f.Add([]byte{0})
+	// A doubled sentinel: extension header followed by another zero length
+	// must error, not recurse or loop.
+	f.Add([]byte{0, 1, 1, 0})
 	// A large claimed length with only a few real bytes: must error from
 	// truncation without allocating the claimed size up front.
 	var big [binary.MaxVarintLen64]byte
@@ -41,7 +59,7 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(append(big[:n], 1, 2, 3))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		buf, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		buf, _, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
 		if err == nil {
 			if len(buf) > maxMessage {
 				t.Fatalf("readFrame returned %d bytes, over the limit", len(buf))
@@ -52,25 +70,72 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		// The full decode path must also never panic on garbage.
 		var req request
-		_ = readMessage(bufio.NewReader(bytes.NewReader(data)), &req)
+		_, _ = readMessage(bufio.NewReader(bytes.NewReader(data)), &req)
 	})
 }
 
 // TestFrameRoundTrip pins the framing format: writeMessage output decodes
-// through readMessage.
+// through readMessage, untraced frames carry no context, and traced frames
+// carry theirs intact.
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	var mu sync.Mutex
 	in := &request{ID: 42, Method: "Svc.M", Client: "me", Token: 9}
-	if err := writeMessage(&buf, &mu, in); err != nil {
+	if err := writeMessage(&buf, &mu, in, obs.SpanContext{}); err != nil {
 		t.Fatal(err)
 	}
 	var out request
-	if err := readMessage(bufio.NewReader(&buf), &out); err != nil {
+	sc, err := readMessage(bufio.NewReader(&buf), &out)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if sc.Valid() {
+		t.Fatalf("untraced frame decoded with context %+v", sc)
 	}
 	if out.ID != in.ID || out.Method != in.Method || out.Client != in.Client || out.Token != in.Token {
 		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+// TestFrameRoundTripTraced pins the trace-context extension: the context
+// survives the wire and the payload still decodes.
+func TestFrameRoundTripTraced(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	in := &request{ID: 7, Method: "Svc.M"}
+	want := obs.SpanContext{Trace: 0xfeedface01, Span: 0xabc}
+	if err := writeMessage(&buf, &mu, in, want); err != nil {
+		t.Fatal(err)
+	}
+	var out request
+	sc, err := readMessage(bufio.NewReader(&buf), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != want {
+		t.Fatalf("trace context mangled: got %+v want %+v", sc, want)
+	}
+	if out.ID != in.ID || out.Method != in.Method {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+// TestReadFrameUntracedCompat pins backwards compatibility byte-for-byte:
+// a frame written with a zero context is identical to the pre-extension
+// framing (no sentinel, no IDs).
+func TestReadFrameUntracedCompat(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	in := &request{ID: 3, Method: "Svc.M"}
+	if err := writeMessage(&buf, &mu, in, obs.SpanContext{}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := pickle.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), frameBytes(payload)) {
+		t.Fatal("untraced frame differs from legacy framing")
 	}
 }
 
@@ -78,7 +143,7 @@ func TestFrameRoundTrip(t *testing.T) {
 // genuine frame bigger than one chunk.
 func TestReadFrameChunkedLargeFrame(t *testing.T) {
 	payload := bytes.Repeat([]byte{0xAB}, frameChunk*3+17)
-	got, err := readFrame(bufio.NewReader(bytes.NewReader(frameBytes(payload))))
+	got, _, err := readFrame(bufio.NewReader(bytes.NewReader(frameBytes(payload))))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +157,15 @@ func TestReadFrameChunkedLargeFrame(t *testing.T) {
 func TestReadFrameOversizedClaim(t *testing.T) {
 	var hdr [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(hdr[:], maxMessage+1)
-	if _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:n]))); err == nil {
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr[:n]))); err == nil {
 		t.Fatal("oversized claim accepted")
+	}
+}
+
+// TestReadFrameDoubleSentinel checks that a zero length following the
+// extension header errors instead of being treated as a nested extension.
+func TestReadFrameDoubleSentinel(t *testing.T) {
+	if _, _, err := readFrame(bufio.NewReader(bytes.NewReader([]byte{0, 1, 1, 0}))); err == nil {
+		t.Fatal("double sentinel accepted")
 	}
 }

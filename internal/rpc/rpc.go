@@ -110,13 +110,28 @@ func init() {
 // writeMessage frames and writes one pickled message. Header and payload go
 // out in a single Write, so the transport never observes a torn frame
 // boundary between them.
-func writeMessage(w io.Writer, wmu *sync.Mutex, v any) error {
+//
+// When sc carries a trace, the frame is prefixed with the trace-context
+// extension: a zero length uvarint (the sentinel — a real message is never
+// empty, since a pickled struct always encodes to at least one byte),
+// then the trace and span IDs as uvarints, then the ordinary length-
+// prefixed payload. Untraced frames are byte-identical to the pre-
+// extension protocol, so old and new endpoints interoperate as long as
+// only new ones emit traces.
+func writeMessage(w io.Writer, wmu *sync.Mutex, v any, sc obs.SpanContext) error {
 	payload, err := pickle.Marshal(v)
 	if err != nil {
 		return err
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	var hdr [5 * binary.MaxVarintLen64]byte
+	n := 0
+	if sc.Trace != 0 {
+		hdr[n] = 0 // extension sentinel: zero-length frame
+		n++
+		n += binary.PutUvarint(hdr[n:], uint64(sc.Trace))
+		n += binary.PutUvarint(hdr[n:], uint64(sc.Span))
+	}
+	n += binary.PutUvarint(hdr[n:], uint64(len(payload)))
 	buf := make([]byte, 0, n+len(payload))
 	buf = append(buf, hdr[:n]...)
 	buf = append(buf, payload...)
@@ -126,23 +141,43 @@ func writeMessage(w io.Writer, wmu *sync.Mutex, v any) error {
 	return err
 }
 
-// readFrame reads one length-prefixed frame payload. Truncated, garbage or
-// oversized frames error; the buffer is grown in frameChunk steps as data
-// actually arrives, bounding the allocation a hostile header can cause.
-func readFrame(r *bufio.Reader) ([]byte, error) {
+// readFrame reads one length-prefixed frame payload and its trace context
+// (zero when the frame carried none). Truncated, garbage or oversized
+// frames error; the buffer is grown in frameChunk steps as data actually
+// arrives, bounding the allocation a hostile header can cause.
+func readFrame(r *bufio.Reader) ([]byte, obs.SpanContext, error) {
+	var sc obs.SpanContext
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
-		return nil, err
+		return nil, sc, err
+	}
+	if n == 0 {
+		// Trace-context extension: trace ID, span ID, then the real length.
+		tr, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, sc, err
+		}
+		sp, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, sc, err
+		}
+		sc = obs.SpanContext{Trace: obs.TraceID(tr), Span: obs.SpanID(sp)}
+		if n, err = binary.ReadUvarint(r); err != nil {
+			return nil, sc, err
+		}
+		if n == 0 {
+			return nil, sc, errors.New("rpc: malformed frame: empty message after trace extension")
+		}
 	}
 	if n > maxMessage {
-		return nil, fmt.Errorf("rpc: message of %d bytes exceeds limit", n)
+		return nil, sc, fmt.Errorf("rpc: message of %d bytes exceeds limit", n)
 	}
 	if n <= frameChunk {
 		buf := make([]byte, n)
 		if _, err := io.ReadFull(r, buf); err != nil {
-			return nil, err
+			return nil, sc, err
 		}
-		return buf, nil
+		return buf, sc, nil
 	}
 	buf := make([]byte, 0, frameChunk)
 	for uint64(len(buf)) < n {
@@ -153,19 +188,20 @@ func readFrame(r *bufio.Reader) ([]byte, error) {
 		start := len(buf)
 		buf = append(buf, make([]byte, step)...)
 		if _, err := io.ReadFull(r, buf[start:]); err != nil {
-			return nil, err
+			return nil, sc, err
 		}
 	}
-	return buf, nil
+	return buf, sc, nil
 }
 
-// readMessage reads one framed message into ptr.
-func readMessage(r *bufio.Reader, ptr any) error {
-	buf, err := readFrame(r)
+// readMessage reads one framed message into ptr, returning the frame's
+// trace context.
+func readMessage(r *bufio.Reader, ptr any) (obs.SpanContext, error) {
+	buf, sc, err := readFrame(r)
 	if err != nil {
-		return err
+		return sc, err
 	}
-	return pickle.Unmarshal(buf, ptr)
+	return sc, pickle.Unmarshal(buf, ptr)
 }
 
 // --- server ---
@@ -208,7 +244,14 @@ func (s *Server) Instrument(reg *obs.Registry, tr obs.Tracer) {
 
 type service struct {
 	rcvr    reflect.Value
-	methods map[string]reflect.Method
+	methods map[string]serviceMethod
+}
+
+// serviceMethod is one dispatchable method; traced methods take the
+// caller's span context as a third argument.
+type serviceMethod struct {
+	m      reflect.Method
+	traced bool
 }
 
 // NewServer returns an empty Server.
@@ -220,28 +263,42 @@ func NewServer() *Server {
 	}
 }
 
-var errType = reflect.TypeOf((*error)(nil)).Elem()
+var (
+	errType = reflect.TypeOf((*error)(nil)).Elem()
+	scType  = reflect.TypeOf(obs.SpanContext{})
+)
 
 // Register exposes rcvr's suitable methods under the given service name. A
 // suitable method is exported, takes two pointer arguments (args and
-// reply), and returns error.
+// reply), and returns error; it may additionally take an obs.SpanContext
+// as a third argument, in which case dispatch hands it the caller's trace
+// context (zero for untraced calls):
+//
+//	func (s *Svc) Method(arg *A, reply *R) error
+//	func (s *Svc) Method(arg *A, reply *R, sc obs.SpanContext) error
 func (s *Server) Register(name string, rcvr any) error {
 	rv := reflect.ValueOf(rcvr)
 	rt := rv.Type()
-	svc := &service{rcvr: rv, methods: make(map[string]reflect.Method)}
+	svc := &service{rcvr: rv, methods: make(map[string]serviceMethod)}
 	for i := 0; i < rt.NumMethod(); i++ {
 		m := rt.Method(i)
 		mt := m.Type
-		if !m.IsExported() || mt.NumIn() != 3 || mt.NumOut() != 1 {
+		if !m.IsExported() || mt.NumOut() != 1 || mt.Out(0) != errType {
+			continue
+		}
+		switch mt.NumIn() {
+		case 3:
+		case 4:
+			if mt.In(3) != scType {
+				continue
+			}
+		default:
 			continue
 		}
 		if mt.In(1).Kind() != reflect.Pointer || mt.In(2).Kind() != reflect.Pointer {
 			continue
 		}
-		if mt.Out(0) != errType {
-			continue
-		}
-		svc.methods[m.Name] = m
+		svc.methods[m.Name] = serviceMethod{m: m, traced: mt.NumIn() == 4}
 	}
 	if len(svc.methods) == 0 {
 		return fmt.Errorf("rpc: %T exposes no methods of the form Method(arg *A, reply *R) error", rcvr)
@@ -308,24 +365,25 @@ func (s *Server) ServeConn(conn io.ReadWriteCloser) {
 	defer handlers.Wait()
 	for {
 		var req request
-		if err := readMessage(r, &req); err != nil {
+		sc, err := readMessage(r, &req)
+		if err != nil {
 			return
 		}
 		handlers.Add(1)
-		go func(req request) {
+		go func(req request, sc obs.SpanContext) {
 			defer handlers.Done()
-			resp := s.serveRequest(&req)
-			_ = writeMessage(conn, &wmu, resp)
-		}(req)
+			resp := s.serveRequest(&req, sc)
+			_ = writeMessage(conn, &wmu, resp, obs.SpanContext{})
+		}(req, sc)
 	}
 }
 
 // serveRequest dispatches one request, deduplicating retried attempts: a
 // request carrying an idempotency token executes at most once while the
 // token is remembered, and duplicates replay the cached response.
-func (s *Server) serveRequest(req *request) *response {
+func (s *Server) serveRequest(req *request, sc obs.SpanContext) *response {
 	if req.Token == 0 || req.Client == "" {
-		return s.dispatch(req)
+		return s.dispatch(req, sc)
 	}
 	for {
 		cached, inflight := s.dedupe.begin(req.Client, req.Token)
@@ -343,15 +401,29 @@ func (s *Server) serveRequest(req *request) *response {
 		// the method twice concurrently.
 		<-inflight
 	}
-	resp := s.dispatch(req)
+	resp := s.dispatch(req, sc)
 	s.dedupe.finish(req.Client, req.Token, resp)
 	return resp
 }
 
 // dispatch has a named result so the deferred panic handler can still
-// deliver a response after recovering.
-func (s *Server) dispatch(req *request) (resp *response) {
+// deliver a response after recovering. sc is the caller's trace context;
+// when the server has a tracer, the call becomes an "rpc.call" span —
+// parented to sc when the request carried a trace, or the root of a fresh
+// one when it did not, which is how every update entering through the RPC
+// boundary gets stamped with a trace — and traced methods receive the
+// span's context so their own child spans chain under the call.
+func (s *Server) dispatch(req *request, sc obs.SpanContext) (resp *response) {
 	resp = &response{ID: req.ID}
+	var span obs.Span
+	if s.tracer != nil {
+		if sc.Valid() {
+			span = obs.StartSpan(s.tracer, sc, "rpc.call")
+		} else {
+			span = obs.StartRoot(s.tracer, "rpc.call")
+		}
+	}
+	methodCtx := span.Context()
 	if s.obs != nil || s.tracer != nil {
 		s.requests.Inc()
 		// Per-method metrics use only names that resolve to a
@@ -378,9 +450,13 @@ func (s *Server) dispatch(req *request) (resp *response) {
 				s.errors.Inc()
 				s.obs.Counter("rpc_errors_" + label).Inc()
 			}
-			obs.Emit(s.tracer, obs.Event{Name: "rpc.call", Dur: dur, Err: err, Attrs: []obs.Attr{
-				obs.A("method", req.Method),
-			}})
+			if span.Active() {
+				span.End(err, obs.A("method", req.Method))
+			} else {
+				obs.Emit(s.tracer, obs.Event{Name: "rpc.call", Dur: dur, Err: err, Attrs: []obs.Attr{
+					obs.A("method", req.Method),
+				}})
+			}
 		}()
 	}
 	svcName, mName, ok := splitMethod(req.Method)
@@ -395,11 +471,12 @@ func (s *Server) dispatch(req *request) (resp *response) {
 		resp.Err = fmt.Sprintf("rpc: unknown service %q", svcName)
 		return resp
 	}
-	m, ok := svc.methods[mName]
+	sm, ok := svc.methods[mName]
 	if !ok {
 		resp.Err = fmt.Sprintf("rpc: service %q has no method %q", svcName, mName)
 		return resp
 	}
+	m := sm.m
 
 	argType := m.Type.In(1)   // *A
 	replyType := m.Type.In(2) // *R
@@ -424,7 +501,11 @@ func (s *Server) dispatch(req *request) (resp *response) {
 			resp.Result = nil
 		}
 	}()
-	out := m.Func.Call([]reflect.Value{svc.rcvr, argv, replyv})
+	in := []reflect.Value{svc.rcvr, argv, replyv}
+	if sm.traced {
+		in = append(in, reflect.ValueOf(methodCtx))
+	}
+	out := m.Func.Call(in)
 	if ierr := out[0].Interface(); ierr != nil {
 		resp.Err = ierr.(error).Error()
 		return resp
@@ -555,6 +636,11 @@ type Client struct {
 	dial func() (io.ReadWriteCloser, error)
 	id   string // identity for idempotency tokens
 
+	// tracer, when set via SetTracer, records an "rpc.attempt" span per
+	// traced call attempt (so retries and reconnects are visible in the
+	// originating trace).
+	tracer obs.Tracer
+
 	// metrics are set by Instrument; all are nil-safe.
 	retries    *obs.Counter
 	reconnects *obs.Counter
@@ -654,6 +740,11 @@ func (c *Client) Instrument(reg *obs.Registry) {
 	c.inflight = reg.Gauge("rpc_inflight")
 }
 
+// SetTracer attaches a tracer to the client: traced calls (CallTraced,
+// CallRetryTraced) record an "rpc.attempt" span per attempt. Call before
+// the client is in use.
+func (c *Client) SetTracer(t obs.Tracer) { c.tracer = t }
+
 // ensureConnLocked returns the live connection, dialing one if needed.
 // Called with c.mu held; a slow dial therefore serializes callers, which is
 // what we want — one reconnection attempt at a time.
@@ -688,7 +779,7 @@ func (c *Client) readLoop(cc *clientConn) {
 	r := bufio.NewReader(cc.rwc)
 	for {
 		var resp response
-		if err := readMessage(r, &resp); err != nil {
+		if _, err := readMessage(r, &resp); err != nil {
 			c.connFailed(cc, err)
 			return
 		}
@@ -741,7 +832,13 @@ func (c *Client) dropPending(id uint64) {
 // (a non-nil pointer, or nil to discard). It waits as long as the
 // connection lives; use CallTimeout or CallRetry to bound it.
 func (c *Client) Call(method string, arg any, reply any) error {
-	return c.call(method, arg, reply, 0, 0)
+	return c.call(method, arg, reply, 0, 0, obs.SpanContext{})
+}
+
+// CallTraced is Call with a trace context: the request's frame carries sc
+// across the wire, so the server-side spans land in the caller's trace.
+func (c *Client) CallTraced(sc obs.SpanContext, method string, arg, reply any) error {
+	return c.call(method, arg, reply, 0, 0, sc)
 }
 
 // CallTimeout is Call with a deadline: if the response does not arrive in
@@ -751,14 +848,15 @@ func (c *Client) Call(method string, arg any, reply any) error {
 // than leaked.
 func (c *Client) CallTimeout(method string, arg, reply any, d time.Duration) error {
 	if d <= 0 {
-		return c.call(method, arg, reply, 0, 0)
+		return c.call(method, arg, reply, 0, 0, obs.SpanContext{})
 	}
-	return c.call(method, arg, reply, 0, d)
+	return c.call(method, arg, reply, 0, d, obs.SpanContext{})
 }
 
 // call is the shared call path: send, then wait with an optional deadline.
-// token, when nonzero, is the idempotency token stamped on the request.
-func (c *Client) call(method string, arg, reply any, token uint64, d time.Duration) error {
+// token, when nonzero, is the idempotency token stamped on the request; sc,
+// when valid, rides the frame header to the server.
+func (c *Client) call(method string, arg, reply any, token uint64, d time.Duration, sc obs.SpanContext) error {
 	if c.SimulatedRTT > 0 {
 		time.Sleep(c.SimulatedRTT)
 	}
@@ -782,7 +880,7 @@ func (c *Client) call(method string, arg, reply any, token uint64, d time.Durati
 		req.Client = c.id
 		req.Token = token
 	}
-	if err := writeMessage(cc.rwc, &cc.wmu, req); err != nil {
+	if err := writeMessage(cc.rwc, &cc.wmu, req, sc); err != nil {
 		c.dropPending(id)
 		// A failed write leaves the stream in an unknown framing state;
 		// the connection is done.
@@ -870,6 +968,15 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // re-executing. Server-side errors are returned immediately — the request
 // executed, and retrying would not change the answer.
 func (c *Client) CallRetry(method string, arg, reply any, p RetryPolicy) error {
+	return c.CallRetryTraced(obs.SpanContext{}, method, arg, reply, p)
+}
+
+// CallRetryTraced is CallRetry with a trace context: every attempt becomes
+// an "rpc.attempt" span under sc (when the client has a tracer), and the
+// attempt's own span context rides the wire — so the trace shows each
+// retry and reconnect individually, with the server-side "rpc.call" span
+// parented under the attempt that actually reached it.
+func (c *Client) CallRetryTraced(sc obs.SpanContext, method string, arg, reply any, p RetryPolicy) error {
 	p = p.withDefaults()
 	deadline := time.Now().Add(p.Budget)
 	token := c.nextToken.Add(1)
@@ -885,7 +992,15 @@ func (c *Client) CallRetry(method string, arg, reply any, p RetryPolicy) error {
 		if p.PerTry > 0 && p.PerTry < d {
 			d = p.PerTry
 		}
-		err = c.call(method, arg, reply, token, d)
+		wire := sc
+		aspan := obs.StartSpan(c.tracer, sc, "rpc.attempt")
+		if aspan.Active() {
+			wire = aspan.Context()
+		}
+		err = c.call(method, arg, reply, token, d, wire)
+		if aspan.Active() {
+			aspan.End(err, obs.A("method", method), obs.A("attempt", attempt))
+		}
 		if err == nil || !Retryable(err) {
 			return err
 		}

@@ -124,7 +124,13 @@ func (l *Lock) SharedUnlock() {
 
 // Update acquires the lock in update mode: it excludes other updaters but
 // admits shared holders. Updates run under it.
-func (l *Lock) Update() {
+func (l *Lock) Update() { l.UpdateWaited() }
+
+// UpdateWaited is Update, reporting how long the caller blocked — zero for
+// an uncontended acquisition, measured only when a wait actually happened.
+// Traced updates use it to record a lock-wait span without a second clock
+// read on the fast path.
+func (l *Lock) UpdateWaited() time.Duration {
 	l.mu.Lock()
 	l.init()
 	if l.updater || l.urgent > 0 {
@@ -133,15 +139,17 @@ func (l *Lock) Update() {
 		for l.updater || l.urgent > 0 {
 			l.cond.Wait()
 		}
+		l.updater = true
+		l.mu.Unlock()
+		dur := time.Since(start)
 		if ins != nil {
-			l.updater = true
-			l.mu.Unlock()
-			ins.record("update", ins.updateWait, ins.updateContended, time.Since(start))
-			return
+			ins.record("update", ins.updateWait, ins.updateContended, dur)
 		}
+		return dur
 	}
 	l.updater = true
 	l.mu.Unlock()
+	return 0
 }
 
 // UpdateUrgent acquires update mode ahead of plain Update callers: while an
@@ -191,7 +199,11 @@ func (l *Lock) UpdateUnlock() {
 // all shared holders release. This is the paper's lock conversion performed
 // after the log entry is committed and before the virtual memory structures
 // are modified.
-func (l *Lock) Upgrade() {
+func (l *Lock) Upgrade() { l.UpgradeWaited() }
+
+// UpgradeWaited is Upgrade, reporting how long the caller blocked waiting
+// for readers to drain (zero when none were present).
+func (l *Lock) UpgradeWaited() time.Duration {
 	l.mu.Lock()
 	l.init()
 	if !l.updater || l.exclusive {
@@ -205,17 +217,19 @@ func (l *Lock) Upgrade() {
 		for l.readers > 0 {
 			l.cond.Wait()
 		}
+		l.upgrading = false
+		l.exclusive = true
+		l.mu.Unlock()
+		dur := time.Since(start)
 		if ins != nil {
-			l.upgrading = false
-			l.exclusive = true
-			l.mu.Unlock()
-			ins.record("upgrade", ins.upgradeWait, ins.upContended, time.Since(start))
-			return
+			ins.record("upgrade", ins.upgradeWait, ins.upContended, dur)
 		}
+		return dur
 	}
 	l.upgrading = false
 	l.exclusive = true
 	l.mu.Unlock()
+	return 0
 }
 
 // ExclusiveUnlock releases an exclusive hold (acquired by Upgrade or

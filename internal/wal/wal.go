@@ -332,7 +332,7 @@ func (l *Log) flushLocked() error {
 		if ferr == nil {
 			ferr = merr
 		}
-		l.opts.Tracer.Emit(obs.Event{Name: "log.flush", Dur: dur, Err: ferr, Attrs: []obs.Attr{
+		l.opts.Tracer.Emit(obs.Event{Name: "log.flush", Time: start, Dur: dur, Err: ferr, Attrs: []obs.Attr{
 			obs.A("bytes", len(buf)), obs.A("entries", entries), obs.A("hi_seq", hi),
 		}})
 	}
@@ -392,6 +392,15 @@ func (l *Log) Flush() error {
 	l.syncing = false
 	l.cond.Broadcast()
 	return err
+}
+
+// MirrorActive reports whether a mirror window is open — i.e. a
+// non-blocking checkpoint is in flight and appends are being dual-written.
+// Traced commits use it to tag the sync span that paid for the mirror.
+func (l *Log) MirrorActive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mirror.active
 }
 
 // BeginMirror opens the mirror window. The caller must have quiesced
