@@ -45,6 +45,7 @@ func main() {
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "points replayed in parallel")
 		overlap = flag.Bool("overlap", false, "commit updates inside each checkpoint's mirror window (sweeps the non-blocking checkpoint protocol)")
 		nosync  = flag.Bool("nosync", false, "run without log syncs (store mode must then report violations; replica mode must still recover via its peer)")
+		readers = flag.Int("readers", 0, "concurrent snapshot readers validating lock-free enquiries against the oracle during every workload and catch-up")
 		verbose = flag.Bool("v", false, "log progress")
 
 		net      = flag.Bool("net", false, "run the partition sweep instead of the crash-point sweep")
@@ -72,6 +73,7 @@ func main() {
 			Shards:             *shards,
 			OverlapCheckpoints: *overlap,
 			UnsafeNoSync:       *nosync,
+			Readers:            *readers,
 		}
 		if *verbose {
 			cfg.Logf = log.Printf
@@ -92,6 +94,9 @@ func main() {
 		}
 		if *cpEvery != 0 {
 			extra += fmt.Sprintf(" -cp-every %d", *cpEvery)
+		}
+		if *readers != 0 {
+			extra += fmt.Sprintf(" -readers %d", *readers)
 		}
 		for _, v := range res.Violations {
 			fmt.Printf("VIOLATION %s\n", v)

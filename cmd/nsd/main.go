@@ -169,4 +169,3 @@ func splitPeers(s string) []string {
 	}
 	return strings.Split(s, ",")
 }
-

@@ -22,10 +22,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -521,6 +524,125 @@ func networkResilienceJSON(seed int64, quick bool) (map[string]any, error) {
 	}, nil
 }
 
+// readScalingPoint is one goroutine count's throughput in the read
+// scaling section.
+type readScalingPoint struct {
+	Goroutines   int     `json:"goroutines"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+}
+
+// readScalingMode runs the 95/5 enquiry/update mix at each goroutine
+// count against one store configuration and reports per-count read
+// throughput plus how many enquiries ever fell back to the shared lock.
+func readScalingMode(seed int64, locked bool, counts []int, dur time.Duration) (map[string]any, error) {
+	reg := obs.NewRegistry()
+	ns, err := nameserver.Open(nameserver.Config{FS: vfs.NewMem(seed), Obs: reg, LockedEnquiries: locked})
+	if err != nil {
+		return nil, err
+	}
+	defer ns.Close()
+
+	// A modest preloaded working set: lookups hit real paths.
+	const keys = 512
+	names := make([]string, keys)
+	for i := range names {
+		names[i] = fmt.Sprintf("scale/dir%d/e%d", i%31, i)
+		if err := ns.Set(names[i], fmt.Sprintf("v%d", i)); err != nil {
+			return nil, err
+		}
+	}
+
+	var points []readScalingPoint
+	for _, g := range counts {
+		var reads, writes atomic.Uint64
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		errs := make(chan error, g)
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(g*1000+w)))
+				for i := 0; !stop.Load(); i++ {
+					if rng.Intn(100) < 5 {
+						if err := ns.Set(names[rng.Intn(keys)], "w"); err != nil {
+							errs <- err
+							return
+						}
+						writes.Add(1)
+					} else {
+						if _, err := ns.Lookup(names[rng.Intn(keys)]); err != nil {
+							errs <- err
+							return
+						}
+						reads.Add(1)
+					}
+					if i%64 == 0 {
+						// Periodic yield keeps the mix fair on small
+						// GOMAXPROCS without distorting per-op cost.
+						runtime.Gosched()
+					}
+				}
+			}(w)
+		}
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return nil, err
+		}
+		secs := dur.Seconds()
+		points = append(points, readScalingPoint{
+			Goroutines:   g,
+			ReadsPerSec:  float64(reads.Load()) / secs,
+			WritesPerSec: float64(writes.Load()) / secs,
+		})
+	}
+
+	var scaling float64
+	if points[0].ReadsPerSec > 0 {
+		scaling = points[len(points)-1].ReadsPerSec / points[0].ReadsPerSec
+	}
+	return map[string]any{
+		"locked_enquiries": locked,
+		"points":           points,
+		"scaling_maxg":     scaling,
+		"locked_reads":     reg.Counter("core_enquiries_locked").Value(),
+	}, nil
+}
+
+// readScalingJSON measures enquiry throughput scaling across goroutine
+// counts for the lock-free versioned read path and the locked-enquiries
+// ablation. The CI gate on the versioned numbers is core-count-aware:
+// single-core runners cannot show parallel speedup, so num_cpu and
+// gomaxprocs are recorded alongside.
+func readScalingJSON(seed int64, quick bool) (map[string]any, error) {
+	counts := []int{1, 4, 16, 32}
+	dur := 300 * time.Millisecond
+	if quick {
+		dur = 150 * time.Millisecond
+	}
+	versioned, err := readScalingMode(seed, false, counts, dur)
+	if err != nil {
+		return nil, err
+	}
+	locked, err := readScalingMode(seed, true, counts, dur)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"goroutines":       counts,
+		"duration_ns":      dur.Nanoseconds(),
+		"read_fraction":    0.95,
+		"num_cpu":          runtime.NumCPU(),
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+		"versioned":        versioned,
+		"locked_enquiries": locked,
+	}, nil
+}
+
 // writeMetricsJSON runs the fixed metrics workload — an instrumented
 // in-memory store under a mixed update/enquiry load — and writes the
 // resulting snapshot.
@@ -565,6 +687,10 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 	if err != nil {
 		return err
 	}
+	readScaling, err := readScalingJSON(seed, quick)
+	if err != nil {
+		return err
+	}
 
 	out := map[string]any{
 		"schema":     "smalldb-bench-metrics/v1",
@@ -583,6 +709,7 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 		"micro":              micros,
 		"network_resilience": netres,
 		"tracing_overhead":   traceOv,
+		"read_scaling":       readScaling,
 		"metrics":            reg.Snapshot(),
 	}
 	f, err := os.Create(path)

@@ -103,6 +103,12 @@ type Config struct {
 	// whole update, disk write included, to measure what the paper's
 	// three-mode matrix buys.
 	CoarseLocking bool
+	// LockedEnquiries disables lock-free snapshot enquiries even when the
+	// root implements VersionedRoot: every View takes the shared lock and
+	// is excluded during each update's in-memory apply, as in the paper's
+	// original three-mode protocol. Kept as an ablation so the read-
+	// scaling benchmark can measure what version publication buys.
+	LockedEnquiries bool
 	// SkipDamagedLogEntries makes recovery hop over unreadable log
 	// entries instead of failing, for applications whose updates are
 	// independent (§4).
@@ -204,8 +210,23 @@ type Store struct {
 	cfg  Config
 	lock sulock.Lock
 
-	// root is guarded by lock (shared for reads, exclusive for writes).
+	// root is the working (mutable) database root, guarded by lock:
+	// updates mutate it under exclusive mode. With a versioned root,
+	// enquiries never touch it — they read the published version below —
+	// and every mutation is copy-on-write with respect to published
+	// views. With an unversioned root, enquiries read it under shared.
 	root any
+
+	// versioned reports that root implements VersionedRoot (and the
+	// LockedEnquiries ablation is off): enquiries are lock-free reads of
+	// vs's published version.
+	versioned bool
+	vs        versionSet
+	vm        versionMetrics
+
+	// enquiries counts Views on an atomic so the lock-free read path
+	// never takes statMu.
+	enquiries atomic.Uint64
 
 	// mu guards the fields below (log/checkpoint administration).
 	mu         sync.Mutex
@@ -300,8 +321,16 @@ func (s *Store) initObs() {
 		reg.Register("pickle_enc_pool_hit_rate", func() any { return poolHitRate(pickle.Stats().EncPoolGets, pickle.Stats().EncPoolMisses) })
 		reg.Register("pickle_dec_pool_hit_rate", func() any { return poolHitRate(pickle.Stats().DecPoolGets, pickle.Stats().DecPoolMisses) })
 	}
+	s.initVersionObs(reg)
 	if reg != nil || s.tracer != nil {
-		s.lock.Instrument(reg, "core", s.tracer)
+		// With lock-free enquiries the shared mode is never acquired on
+		// this lock; skip its wait/contention series so /stats does not
+		// export dead metrics.
+		var opts []sulock.InstrumentOption
+		if s.versioned {
+			opts = append(opts, sulock.SkipShared())
+		}
+		s.lock.Instrument(reg, "core", s.tracer, opts...)
 	}
 }
 
@@ -346,6 +375,11 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("core: Config.NewRoot is required")
 	}
 	s := &Store{cfg: cfg}
+	if !cfg.LockedEnquiries {
+		// Probe a throwaway root: versioning is a property of the root
+		// type, and initObs needs it to pick the lock instrumentation.
+		_, s.versioned = cfg.NewRoot().(VersionedRoot)
+	}
 	s.initObs()
 
 	st, err := checkpoint.RecoverWith(cfg.FS, s.cpOpts())
@@ -377,6 +411,7 @@ func (s *Store) initFresh() (*Store, error) {
 	s.log = l
 	s.cpState = st
 	s.applied = 0
+	s.publish(0)
 	return s, nil
 }
 
@@ -425,6 +460,7 @@ func (s *Store) load(st checkpoint.State) error {
 	s.cpState = st
 	s.applied = res.NextSeq - 1
 	s.logEntries = int64(res.Entries)
+	s.publish(s.applied)
 	s.recordStats(func(stats *Stats) {
 		stats.RestartCheckpointTime = cpTime
 		stats.RestartEntries = res.Entries
@@ -512,14 +548,30 @@ func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wa
 	return res, err
 }
 
-// View runs fn on the database root under a shared lock: the paper's
-// enquiry. fn must not mutate the root, and must not retain references to
-// it after returning.
+// View runs fn on the database root: the paper's enquiry. fn must not
+// mutate the root, and must not retain references to it after returning.
+//
+// With a versioned root (see VersionedRoot) the enquiry is lock-free: fn
+// runs on the current published version, loaded through one atomic
+// pointer read, with no blocking and no exclusion window — updates and
+// checkpoints proceed underneath it. The view is consistent as of one
+// committed sequence number. (Under Config.GroupCommit an enquiry may, as
+// before, observe an update whose durability sync is still in flight.)
+//
+// With an unversioned root — or Config.LockedEnquiries — fn runs on the
+// working root under the shared lock, excluded during each update's
+// in-memory apply, exactly the paper's protocol.
 func (s *Store) View(fn func(root any) error) error {
+	if v := s.vs.pub.Load(); v != nil {
+		s.enquiries.Add(1)
+		s.ctr.enquiries.Inc()
+		return fn(v.root)
+	}
 	s.lock.Shared()
 	defer s.lock.SharedUnlock()
+	s.enquiries.Add(1)
 	s.ctr.enquiries.Inc()
-	s.recordStats(func(st *Stats) { st.Enquiries++ })
+	s.vm.locked.Inc()
 	return fn(s.root)
 }
 
@@ -681,6 +733,11 @@ func (s *Store) ApplyTraced(u Update, sc obs.SpanContext) error {
 	}
 	applyErr := u.Apply(s.root)
 	if applyErr == nil {
+		// Publication point: the version becomes visible to lock-free
+		// enquiries here, after the WAL commit above and the in-memory
+		// apply, still inside the exclusive section so publishes are
+		// serialized in sequence order.
+		s.publish(seq)
 		s.mu.Lock()
 		s.applied = seq
 		s.logEntries++
@@ -773,6 +830,7 @@ func (s *Store) applyCoarse(u Update) error {
 		s.poison(err)
 		return err
 	}
+	s.publish(seq)
 	s.mu.Lock()
 	s.applied = seq
 	s.logEntries++
@@ -988,11 +1046,30 @@ func (s *Store) checkpointNonBlocking() error {
 		obs.A("version", cur.Version), obs.A("next_seq", nextSeq), obs.A("blocking", false),
 	}})
 
-	// Pickle the root in memory — the only phase that excludes updates.
+	// Pickle the root in memory. With a versioned root, the lock is held
+	// only long enough to pin the current published version — whose seq
+	// is exactly applied, since appliers need the update lock we hold —
+	// and the pickle itself runs after the lock is released, against the
+	// immutable snapshot, concurrently with committing updates. With an
+	// unversioned root the pickle is the one phase that excludes updates.
 	p0 := time.Now()
 	bufp := cpBufPool.Get().(*[]byte)
 	sw := &sliceWriter{buf: (*bufp)[:0]}
-	perr := pickle.Write(sw, &header{NextSeq: nextSeq, Root: s.root})
+	var perr error
+	var snap *Snapshot
+	if s.versioned {
+		snap, perr = s.SnapshotAt()
+		if perr == nil && snap.Seq() != nextSeq-1 {
+			// Cannot happen while the update lock serializes applies;
+			// fall back to the locked pickle rather than write a torn
+			// checkpoint if the invariant is ever broken.
+			snap.Release()
+			snap = nil
+		}
+	}
+	if snap == nil && perr == nil {
+		perr = pickle.Write(sw, &header{NextSeq: nextSeq, Root: s.root})
+	}
 	buf := sw.buf
 	pickleTime := time.Since(p0)
 	if perr == nil {
@@ -1002,6 +1079,9 @@ func (s *Store) checkpointNonBlocking() error {
 	s.lock.UpdateUnlock()
 	s.hist.cpStall.ObserveDuration(stall)
 	if perr != nil {
+		if snap != nil {
+			snap.Release()
+		}
 		putCPBuf(bufp, buf)
 		return perr
 	}
@@ -1015,6 +1095,17 @@ func (s *Store) checkpointNonBlocking() error {
 		log.AbortMirror()
 		checkpoint.Abort(s.cfg.FS, next)
 		return err
+	}
+	if snap != nil {
+		ps := time.Now()
+		perr = pickle.Write(sw, &header{NextSeq: nextSeq, Root: snap.Root()})
+		snap.Release()
+		buf = sw.buf
+		pickleTime += time.Since(ps)
+		if perr != nil {
+			putCPBuf(bufp, buf)
+			return abort(perr)
+		}
 	}
 	ioStart := time.Now()
 	if _, err := checkpoint.Prepare(s.cfg.FS, cur, func(w io.Writer) error {
@@ -1387,6 +1478,7 @@ func (s *Store) Stats() Stats {
 	s.statMu.Lock()
 	st := s.stats
 	s.statMu.Unlock()
+	st.Enquiries = s.enquiries.Load()
 	st.VerifyDist = s.hist.verify.Snapshot()
 	st.PickleDist = s.hist.pickle.Snapshot()
 	st.CommitDist = s.hist.commit.Snapshot()

@@ -73,6 +73,15 @@ type Config struct {
 	// (0 = auto, 1 = sequential), so the sweep can torture pipelined
 	// restart at every crash point.
 	ReplayWorkers int
+	// Readers runs this many concurrent snapshot readers alongside every
+	// workload — the reference run, each crash replay, and the post-crash
+	// catch-up — each continuously validating that a pinned snapshot at
+	// sequence k fingerprints exactly to the oracle prefix fp[k]. The
+	// readers take no locks and perform no file-system operations, so the
+	// crash-point op indexing stays deterministic; what they add is the
+	// check that lock-free enquiries never observe a torn or stale
+	// version, at every crash point. 0 disables.
+	Readers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -214,16 +223,20 @@ func (r *runner) violation(n int64, format string, args ...any) Violation {
 func (r *runner) reference() (int64, error) {
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: faultfs.Never})
 	rec := &recorder{}
+	rc := r.newReaderCheck()
 	var err error
 	if r.cfg.Mode == ModeReplica {
 		peer, shutdown, perr := r.newPeer()
 		if perr != nil {
 			return 0, perr
 		}
-		err = r.runReplicaWorkload(ffs, peer, rec, ffs.OpCount)
+		err = r.runReplicaWorkload(ffs, peer, rec, ffs.OpCount, rc)
 		shutdown()
 	} else {
-		err = r.runStoreWorkload(ffs, rec, ffs.OpCount)
+		err = r.runStoreWorkload(ffs, rec, ffs.OpCount, rc)
+	}
+	if msgs := rc.finish(); err == nil && len(msgs) > 0 {
+		err = fmt.Errorf("concurrent reader: %s", msgs[0])
 	}
 	if err != nil {
 		return 0, err
@@ -281,6 +294,85 @@ func overlapCheckpoint(st *core.Store, cp func() error, doOne func() error, rema
 	}
 	return hookErr
 }
+
+// --- concurrent snapshot readers ---
+
+// readerCheck drives Config.Readers snapshot readers against a store
+// while a workload runs, validating every observed version against the
+// plan's per-prefix oracle fingerprints. Reads are lock-free and touch no
+// file system, so they cannot perturb the crash-point determinism of the
+// workload they overlap.
+type readerCheck struct {
+	readers int
+	plan    *plan
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	errs    []string
+}
+
+func (r *runner) newReaderCheck() *readerCheck {
+	return &readerCheck{readers: r.cfg.Readers, plan: r.plan}
+}
+
+func (rc *readerCheck) fail(format string, args ...any) {
+	rc.mu.Lock()
+	rc.errs = append(rc.errs, fmt.Sprintf(format, args...))
+	rc.mu.Unlock()
+}
+
+// launch starts the readers against an open store. treeOf extracts the
+// name tree from a snapshot root (bare tree in store mode, replica root's
+// tree in replica mode).
+func (rc *readerCheck) launch(st *core.Store, treeOf func(any) *nameserver.Tree) {
+	for i := 0; i < rc.readers; i++ {
+		rc.wg.Add(1)
+		go func() {
+			defer rc.wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					rc.fail("reader panic: %v", p)
+				}
+			}()
+			for !rc.stop.Load() {
+				snap, err := st.SnapshotAt()
+				if err != nil {
+					rc.fail("snapshot: %v", err)
+					return
+				}
+				seq := int(snap.Seq())
+				var msg string
+				if seq >= len(rc.plan.fp) {
+					msg = fmt.Sprintf("snapshot at seq %d beyond the %d-update plan", seq, len(rc.plan.updates))
+				} else if fp := fingerprintTree(treeOf(snap.Root())); fp != rc.plan.fp[seq] {
+					msg = fmt.Sprintf("snapshot at seq %d diverges from the oracle prefix of %d updates", seq, seq)
+				}
+				snap.Release()
+				if msg != "" {
+					rc.fail("%s", msg)
+					return
+				}
+				// Yield so spinning lock-free readers never starve the
+				// single-threaded workload on a small GOMAXPROCS.
+				runtime.Gosched()
+			}
+		}()
+	}
+}
+
+// finish stops the readers and reports every validation failure. Safe to
+// call after the store has closed: pending reads are pure memory reads of
+// published versions.
+func (rc *readerCheck) finish() []string {
+	rc.stop.Store(true)
+	rc.wg.Wait()
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.errs
+}
+
+func storeTree(root any) *nameserver.Tree   { return root.(*nameserver.Tree) }
+func replicaTree(root any) *nameserver.Tree { return root.(*replica.Root).Tree }
 
 // --- flight recorder ---
 
@@ -352,7 +444,7 @@ func (r *runner) checkFlight(n int64, fs vfs.FS, acked, attempted int) []Violati
 // runStoreWorkload replays the plan against one store on fs, interleaving
 // checkpoints, stopping at the first error (the crash, in a torture
 // replay).
-func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64) error {
+func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64, rc *readerCheck) error {
 	fl, err := openFlight(fs)
 	if err != nil {
 		return err // in a torture replay, the crash landed on the ring setup
@@ -363,6 +455,7 @@ func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64
 		return err
 	}
 	st := srv.Store()
+	rc.launch(st, storeTree)
 	k := 0
 	doOne := func() error {
 		if rec != nil {
@@ -393,19 +486,34 @@ func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64
 // storePoint crashes the workload before op n, recovers from the frozen
 // durable image through the normal restart path, and checks the
 // invariants.
-func (r *runner) storePoint(n int64) []Violation {
+func (r *runner) storePoint(n int64) (out []Violation) {
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
-	_ = r.runStoreWorkload(ffs, nil, ffs.OpCount) // error is the crash itself
+	rc := r.newReaderCheck()
+	_ = r.runStoreWorkload(ffs, nil, ffs.OpCount, rc) // error is the crash itself
 
 	snap := ffs.Snapshot()
 	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
-	out := r.checkFlight(n, snap, acked, attempted)
+	out = r.checkFlight(n, snap, acked, attempted)
+	for _, msg := range rc.finish() {
+		out = append(out, r.violation(n, "concurrent reader: %s", msg))
+	}
 
 	srv, err := nameserver.Open(nameserver.Config{FS: snap, ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
 		return append(out, r.violation(n, "recovery failed: %v", err))
 	}
 	defer srv.Close()
+
+	// Readers also overlap the recovered store's catch-up, so the sweep
+	// covers snapshots taken while a freshly recovered database is still
+	// absorbing the rest of the workload.
+	rc2 := r.newReaderCheck()
+	rc2.launch(srv.Store(), storeTree)
+	defer func() {
+		for _, msg := range rc2.finish() {
+			out = append(out, r.violation(n, "catch-up reader: %s", msg))
+		}
+	}()
 
 	recovered := int(srv.Store().AppliedSeq())
 	// The lower bound holds unconditionally in store mode: with
@@ -502,7 +610,7 @@ func dialNode(node *replica.Node) (*rpc.Client, func(), error) {
 // runReplicaWorkload replays the plan through node "a" on fs, pushing each
 // committed update to the peer, checkpointing on the same schedule as
 // store mode.
-func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount func() int64) error {
+func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount func() int64, rc *readerCheck) error {
 	fl, err := openFlight(fs)
 	if err != nil {
 		return err // in a torture replay, the crash landed on the ring setup
@@ -513,6 +621,7 @@ func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount f
 		return err
 	}
 	node.AddPeer("b", p.dial())
+	rc.launch(node.Store(), replicaTree)
 	k := 0
 	doOne := func() error {
 		if rec != nil {
@@ -544,7 +653,7 @@ func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount f
 // suffix from the peer (anti-entropy catch-up), finishes the workload on
 // the recovered node, and requires both replicas to converge on the full
 // oracle.
-func (r *runner) replicaPoint(n int64) []Violation {
+func (r *runner) replicaPoint(n int64) (out []Violation) {
 	p, shutdown, err := r.newPeer()
 	if err != nil {
 		return []Violation{r.violation(n, "harness: opening peer: %v", err)}
@@ -552,17 +661,33 @@ func (r *runner) replicaPoint(n int64) []Violation {
 	defer shutdown()
 
 	ffs := faultfs.New(vfs.NewMem(r.cfg.Seed), faultfs.Options{CrashAt: n})
-	_ = r.runReplicaWorkload(ffs, p, nil, ffs.OpCount) // error is the crash itself
+	rc := r.newReaderCheck()
+	_ = r.runReplicaWorkload(ffs, p, nil, ffs.OpCount, rc) // error is the crash itself
 
 	snap := ffs.Snapshot()
 	acked, attempted := r.rec.ackedAt(n), r.rec.attemptedAt(n)
-	out := r.checkFlight(n, snap, acked, attempted)
+	out = r.checkFlight(n, snap, acked, attempted)
+	for _, msg := range rc.finish() {
+		out = append(out, r.violation(n, "concurrent reader: %s", msg))
+	}
 
 	node, err := replica.Open(replica.Config{Name: "a", FS: snap, ReplayWorkers: r.cfg.ReplayWorkers})
 	if err != nil {
 		return append(out, r.violation(n, "recovery failed: %v", err))
 	}
 	defer node.Close()
+
+	// Readers overlap the recovered node's anti-entropy catch-up and the
+	// rest of the workload. Node "a" only ever applies its own origin's
+	// updates — locally or pulled back from the peer — so its store
+	// sequence keeps indexing the oracle prefixes throughout.
+	rc2 := r.newReaderCheck()
+	rc2.launch(node.Store(), replicaTree)
+	defer func() {
+		for _, msg := range rc2.finish() {
+			out = append(out, r.violation(n, "catch-up reader: %s", msg))
+		}
+	}()
 
 	vec, err := node.Vector()
 	if err != nil {

@@ -143,3 +143,50 @@ func TestPointRangeAndStride(t *testing.T) {
 		t.Errorf("%s", v)
 	}
 }
+
+// TestStoreTortureWithReaders re-runs the store sweep with concurrent
+// snapshot readers validating lock-free enquiries against the oracle at
+// every crash point — the interleaving the versioned read path must
+// survive: crashes landing while pinned snapshots are live.
+func TestStoreTortureWithReaders(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 12, Mode: ModeStore, Readers: 4, OverlapCheckpoints: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestReplicaTortureWithReaders does the same for replica mode, where the
+// readers also overlap anti-entropy catch-up on the recovered node.
+func TestReplicaTortureWithReaders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica sweep with readers is the slowest sweep variant")
+	}
+	res, err := Run(Config{Seed: 2, Ops: 8, Mode: ModeReplica, Readers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestReadersDeterminism: adding readers must not change the workload's
+// file-system op indexing — the property that keeps (seed, point)
+// replayable. The reference op counts with and without readers must match.
+func TestReadersDeterminism(t *testing.T) {
+	without, err := Run(Config{Seed: 3, Ops: 10, Mode: ModeStore, To: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run(Config{Seed: 3, Ops: 10, Mode: ModeStore, To: 1, Readers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.TotalFSOps != with.TotalFSOps {
+		t.Fatalf("readers changed the op indexing: %d fs ops without, %d with",
+			without.TotalFSOps, with.TotalFSOps)
+	}
+}

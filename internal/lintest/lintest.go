@@ -1,0 +1,260 @@
+// Package lintest is a model-based linearizability checker for the
+// store's lock-free snapshot enquiries.
+//
+// The store has a single logical writer (updates serialize on the update
+// lock) and many concurrent readers, so the linearizability argument
+// reduces to two obligations per enquiry:
+//
+//  1. Version consistency: the enquiry observes exactly the state produced
+//     by some prefix of the committed update sequence — never a mix of two
+//     versions, never a half-applied update.
+//  2. Real-time bound: the observed prefix includes every update whose
+//     Apply call had returned before the enquiry began, and nothing that
+//     had not yet been issued when it ended.
+//
+// The harness makes both checkable without recording writer state: the
+// writer's op i deterministically sets key (i mod Keys) to a value that
+// encodes i, so the expected content of every key at any version j has a
+// closed form. A reader takes one pinned snapshot (whose Seq names j
+// exactly), reads all Keys keys from it, and validates each against the
+// closed-form model of version j — any torn or stale mix fails on the
+// spot. The (j, completed-before, started-after) triple of every read is
+// recorded as an operation history; Check then validates the real-time
+// window and per-reader monotonicity over the whole history.
+package lintest
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"smalldb/internal/core"
+	"smalldb/internal/nameserver"
+)
+
+// Config sizes a Run.
+type Config struct {
+	// Readers is the number of concurrent reader goroutines (default 4).
+	Readers int
+	// Ops is the number of writer updates (default 1000).
+	Ops int
+	// Keys is how many distinct names the writer cycles over (default 8).
+	Keys int
+	// Prefix roots the harness's names (default "lin"). The subtree must
+	// not exist when Run starts; Run owns it for the duration.
+	Prefix string
+}
+
+func (c *Config) defaults() {
+	if c.Readers <= 0 {
+		c.Readers = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1000
+	}
+	if c.Keys <= 0 {
+		c.Keys = 8
+	}
+	if c.Prefix == "" {
+		c.Prefix = "lin"
+	}
+}
+
+// Stats reports what a Run exercised.
+type Stats struct {
+	Ops   uint64 // writer updates committed
+	Reads uint64 // snapshot enquiries validated
+}
+
+// observation is one enquiry in the recorded history: the version it
+// observed and the real-time window it ran in, all in writer-op units.
+type observation struct {
+	j  uint64 // writer ops included in the snapshot
+	lo uint64 // writer ops completed before the read began
+	hi uint64 // writer ops started by the time the read ended
+}
+
+// Run drives one writer (Ops sequential updates) against Readers
+// concurrent snapshot enquiries on st, validating every enquiry against
+// the version-ordered model as it happens and the full recorded history
+// afterwards. The store's root must be the nameserver tree (or wrap one
+// reachable as *nameserver.Tree via the root), versioned — Run fails with
+// core.ErrNotVersioned otherwise — and must receive no other updates
+// while Run is active.
+func Run(st *core.Store, cfg Config) (Stats, error) {
+	cfg.defaults()
+	keys := make([][]string, cfg.Keys)
+	for c := range keys {
+		keys[c] = []string{cfg.Prefix, "k" + strconv.Itoa(c)}
+	}
+
+	// The model starts empty: the harness's subtree must not exist yet.
+	if err := st.View(func(root any) error {
+		if treeFromRoot(root).FindNode([]string{cfg.Prefix}) != nil {
+			return fmt.Errorf("lintest: subtree %q already exists", cfg.Prefix)
+		}
+		return nil
+	}); err != nil {
+		return Stats{}, err
+	}
+
+	base := st.AppliedSeq()
+	var started, completed atomic.Uint64
+	var stop atomic.Bool
+	var reads atomic.Uint64
+	histories := make([][]observation, cfg.Readers)
+	errs := make(chan error, cfg.Readers)
+
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			h := make([]observation, 0, 1024)
+			// Every reader validates at least one snapshot even if the
+			// scheduler only runs it after the writer finishes (on
+			// GOMAXPROCS=1 a goroutine can sit runnable for the whole
+			// writer phase).
+			for first := true; first || !stop.Load(); first = false {
+				lo := completed.Load()
+				snap, err := st.SnapshotAt()
+				if err != nil {
+					errs <- err
+					return
+				}
+				m := snap.Seq()
+				verr := checkVersion(treeFromRoot(snap.Root()), keys, base, m)
+				snap.Release()
+				hi := started.Load()
+				if verr != nil {
+					errs <- verr
+					return
+				}
+				if m < base {
+					errs <- fmt.Errorf("lintest: snapshot at seq %d precedes the run's base %d", m, base)
+					return
+				}
+				h = append(h, observation{j: m - base, lo: lo, hi: hi})
+				reads.Add(1)
+				// Yield so the single writer is never starved by spinning
+				// readers: snapshot reads block on nothing, so on a small
+				// GOMAXPROCS the run queue is all readers, all runnable.
+				runtime.Gosched()
+			}
+			histories[r] = h
+		}(r)
+	}
+
+	var werr error
+	for i := uint64(1); i <= uint64(cfg.Ops); i++ {
+		started.Store(i)
+		u := &nameserver.SetValue{Path: keys[i%uint64(cfg.Keys)], Value: valueAt(i)}
+		if werr = st.Apply(u); werr != nil {
+			break
+		}
+		completed.Store(i)
+		// Yield between ops for the same fairness reason as the readers:
+		// the history is only interesting if reads interleave the writes.
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if werr != nil {
+		return Stats{}, fmt.Errorf("lintest: writer op %d: %w", started.Load(), werr)
+	}
+	for err := range errs {
+		if err != nil {
+			return Stats{}, err
+		}
+	}
+
+	if err := checkHistory(histories); err != nil {
+		return Stats{}, err
+	}
+	return Stats{Ops: completed.Load(), Reads: reads.Load()}, nil
+}
+
+// valueAt is the value writer op i writes: it encodes i so a read can
+// recover which write it is seeing.
+func valueAt(i uint64) string { return "v" + strconv.FormatUint(i, 10) }
+
+// lastWrite reports the last writer op ≤ j that wrote key index c (keys
+// cycle round-robin), or 0 when none has.
+func lastWrite(j uint64, c, keys int) uint64 {
+	if j == 0 {
+		return 0
+	}
+	r := j % uint64(keys)
+	diff := (r + uint64(keys) - uint64(c)%uint64(keys)) % uint64(keys)
+	if diff >= j {
+		return 0 // would reach before op 1
+	}
+	return j - diff
+}
+
+// checkVersion validates every harness key in a snapshot tree against the
+// closed-form model of version j = m - base. Reading all keys from one
+// snapshot is what makes the check complete: a snapshot mixing two
+// versions cannot satisfy the model at any single j, because each op
+// changes exactly one key and the keys cycle.
+func checkVersion(t *nameserver.Tree, keys [][]string, base, m uint64) error {
+	j := m - base
+	for c := range keys {
+		want := lastWrite(j, c, len(keys))
+		n := t.FindNode(keys[c])
+		switch {
+		case want == 0:
+			if n != nil && n.HasValue {
+				return fmt.Errorf("lintest: at version %d key %d should be unwritten, found %q", j, c, n.Value)
+			}
+		case n == nil || !n.HasValue:
+			return fmt.Errorf("lintest: at version %d key %d should hold %q, found nothing", j, c, valueAt(want))
+		case n.Value != valueAt(want):
+			return fmt.Errorf("lintest: at version %d key %d should hold %q, found %q", j, c, valueAt(want), n.Value)
+		}
+	}
+	return nil
+}
+
+// checkHistory validates the recorded operation history: every read's
+// version must fall inside its real-time window (reads never travel back
+// before a completed write, never ahead of an issued one), and each
+// reader's versions must be monotone (a reader never observes time moving
+// backwards).
+func checkHistory(histories [][]observation) error {
+	for r, h := range histories {
+		prev := uint64(0)
+		for i, o := range h {
+			if o.j < o.lo {
+				return fmt.Errorf("lintest: reader %d read %d observed version %d, but %d writes had completed before it began (stale read)", r, i, o.j, o.lo)
+			}
+			if o.j > o.hi {
+				return fmt.Errorf("lintest: reader %d read %d observed version %d, but only %d writes had been issued (read from the future)", r, i, o.j, o.hi)
+			}
+			if o.j < prev {
+				return fmt.Errorf("lintest: reader %d went backwards: version %d after %d", r, o.j, prev)
+			}
+			prev = o.j
+		}
+	}
+	return nil
+}
+
+// treeFromRoot extracts the nameserver tree from a store root: either the
+// tree itself or a replica root embedding one.
+func treeFromRoot(root any) *nameserver.Tree {
+	switch r := root.(type) {
+	case *nameserver.Tree:
+		return r
+	case interface{ NameTree() *nameserver.Tree }:
+		return r.NameTree()
+	}
+	panic(fmt.Sprintf("lintest: root %T holds no nameserver tree", root))
+}
+
+// ErrNotVersioned re-exports the store's sentinel for callers gating on
+// versioned-read support.
+var ErrNotVersioned = core.ErrNotVersioned

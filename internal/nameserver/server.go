@@ -32,6 +32,10 @@ type Config struct {
 	// lock for their whole duration instead of the default
 	// mirror-window protocol.
 	BlockingCheckpoint bool
+	// LockedEnquiries passes through: enquiries take the shared lock and
+	// are excluded during each in-memory apply, instead of reading
+	// lock-free published snapshots (the read-scaling ablation).
+	LockedEnquiries bool
 	// Obs and Tracer pass through to the store's instrumentation.
 	Obs    *obs.Registry
 	Tracer obs.Tracer
@@ -57,6 +61,7 @@ func Open(cfg Config) (*Server, error) {
 		SkipDamagedLogEntries: cfg.SkipDamagedLogEntries,
 		ReplayWorkers:         cfg.ReplayWorkers,
 		BlockingCheckpoint:    cfg.BlockingCheckpoint,
+		LockedEnquiries:       cfg.LockedEnquiries,
 		Obs:                   cfg.Obs,
 		Tracer:                cfg.Tracer,
 	})

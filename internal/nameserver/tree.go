@@ -24,8 +24,21 @@ import (
 )
 
 // Tree is the database root: the name server's entire mapping.
+//
+// Updates are copy-on-write with respect to published snapshots: every
+// mutation rebuilds the nodes along its path (sharing all untouched
+// subtrees) instead of editing nodes in place, so a view captured by
+// SnapshotView is immutable forever and the core store can serve
+// enquiries from it without any lock. The epoch counter makes the copying
+// lazy: a node born after the last snapshot is private to the writer and
+// may be edited in place, so recovery replay — which publishes nothing
+// until it finishes — mutates in place exactly as before.
 type Tree struct {
 	Root *Node
+
+	// epoch counts published snapshots; nodes born in the current epoch
+	// are not yet visible to any snapshot. Unexported: never pickled.
+	epoch uint64
 }
 
 // Node is one name in the tree: an optional value plus string-labelled
@@ -42,6 +55,11 @@ type Node struct {
 	Children map[string]*Node
 	Stamp    uint64
 	StampBy  string
+
+	// born is the tree epoch this node was created in; a node born before
+	// the current epoch is reachable from a published snapshot and must be
+	// copied, not edited. Unexported: never pickled, zero after decode.
+	born uint64
 }
 
 // NewTree returns an empty tree.
@@ -98,29 +116,97 @@ func (t *Tree) find(parts []string) *Node {
 	return n
 }
 
-// ensure walks to parts, creating intermediate nodes.
+// prep returns a node the writer may mutate in the current epoch: n
+// itself when it was born after the last snapshot, otherwise a shallow
+// copy (fields duplicated, children map cloned with the child pointers
+// shared) stamped with the current epoch. Copying the map is what makes
+// the write invisible to snapshots: they keep reaching the old map.
+func (t *Tree) prep(n *Node) *Node {
+	if n.born == t.epoch {
+		return n
+	}
+	c := &Node{Value: n.Value, HasValue: n.HasValue, Stamp: n.Stamp, StampBy: n.StampBy, born: t.epoch}
+	if n.Children != nil {
+		c.Children = make(map[string]*Node, len(n.Children))
+		for k, v := range n.Children {
+			c.Children[k] = v
+		}
+	}
+	return c
+}
+
+// ensure walks to parts copy-on-write, creating intermediate nodes, and
+// returns the writable node at parts. The rebuilt path is installed as the
+// tree's root; everything off the path is shared with the previous state.
 func (t *Tree) ensure(parts []string) *Node {
+	if t.Root == nil {
+		t.Root = &Node{Children: make(map[string]*Node), born: t.epoch}
+	} else {
+		t.Root = t.prep(t.Root)
+	}
 	n := t.Root
 	for _, p := range parts {
 		if n.Children == nil {
 			n.Children = make(map[string]*Node)
 		}
 		child, ok := n.Children[p]
-		if !ok {
-			child = &Node{}
-			n.Children[p] = child
+		if ok {
+			child = t.prep(child)
+		} else {
+			child = &Node{born: t.epoch}
 		}
+		n.Children[p] = child
 		n = child
 	}
 	return n
 }
 
+// cowPath walks to the node at parts copy-on-write without creating
+// anything, returning the writable node — or nil when the path does not
+// fully exist (the existing prefix may have been cloned, which changes no
+// content).
+func (t *Tree) cowPath(parts []string) *Node {
+	if t.Root == nil {
+		return nil
+	}
+	t.Root = t.prep(t.Root)
+	n := t.Root
+	for _, p := range parts {
+		if n.Children == nil {
+			return nil
+		}
+		child, ok := n.Children[p]
+		if !ok {
+			return nil
+		}
+		child = t.prep(child)
+		n.Children[p] = child
+		n = child
+	}
+	return n
+}
+
+// SnapshotView implements core.VersionedRoot: it returns an immutable
+// view of the tree sharing every node, and advances the epoch so that
+// every later mutation copies the nodes the view can reach. Called by the
+// store's single writer after each applied update.
+func (t *Tree) SnapshotView() any {
+	t.epoch++
+	r := t.Root
+	if r == nil {
+		r = &Node{}
+	}
+	return &Tree{Root: r}
+}
+
 // FindNode walks to the node named by parts, or nil. Exported for the
-// replica package's stamped conflict resolution.
+// replica package's stamped conflict resolution. The returned node must
+// not be mutated; use EnsureNode for a writable node.
 func (t *Tree) FindNode(parts []string) *Node { return t.find(parts) }
 
-// EnsureNode walks to parts, creating intermediate nodes. Exported for the
-// replica package's stamped conflict resolution.
+// EnsureNode walks to parts copy-on-write, creating intermediate nodes,
+// and returns a node the caller may mutate before the update finishes.
+// Exported for the replica package's stamped conflict resolution.
 func (t *Tree) EnsureNode(parts []string) *Node { return t.ensure(parts) }
 
 // copyNode deep-copies a subtree.
@@ -203,7 +289,7 @@ func (u *DeleteSubtree) Apply(root any) error {
 	if err != nil {
 		return err
 	}
-	parent := t.find(u.Path[:len(u.Path)-1])
+	parent := t.cowPath(u.Path[:len(u.Path)-1])
 	if parent == nil || parent.Children == nil {
 		return nil // deleted by an equivalent replayed update; idempotent
 	}
@@ -282,7 +368,10 @@ func (u *Move) Apply(root any) error {
 	if n == nil {
 		return fmt.Errorf("nameserver: move source vanished: %s", JoinPath(u.From))
 	}
-	fromParent := t.find(u.From[:len(u.From)-1])
+	// The moved subtree itself is shared, not copied: it is immutable
+	// under the copy-on-write discipline, so the old snapshot keeps
+	// reaching it at From while the new version reaches it at To.
+	fromParent := t.cowPath(u.From[:len(u.From)-1])
 	delete(fromParent.Children, u.From[len(u.From)-1])
 	toParent := t.ensure(u.To[:len(u.To)-1])
 	if toParent.Children == nil {

@@ -40,6 +40,9 @@ type Config struct {
 	// lock for their whole duration instead of the default
 	// mirror-window protocol.
 	BlockingCheckpoint bool
+	// LockedEnquiries passes through: enquiries take the shared lock
+	// instead of reading lock-free published snapshots (the ablation).
+	LockedEnquiries bool
 	// Obs and Tracer pass through to the store and additionally receive
 	// the replication metrics (replica_*) and the replica.push /
 	// replica.antientropy events.
@@ -116,6 +119,7 @@ func Open(cfg Config) (*Node, error) {
 		UnsafeNoSync:       cfg.UnsafeNoSync,
 		ReplayWorkers:      cfg.ReplayWorkers,
 		BlockingCheckpoint: cfg.BlockingCheckpoint,
+		LockedEnquiries:    cfg.LockedEnquiries,
 		Obs:                cfg.Obs,
 		Tracer:             cfg.Tracer,
 	})

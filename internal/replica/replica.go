@@ -55,6 +55,29 @@ type Root struct {
 	HistoryCap int
 }
 
+// SnapshotView implements core.VersionedRoot, so replica nodes serve
+// lock-free snapshot enquiries too. The tree contributes its own
+// copy-on-write view; the version vector is copied (Replicated.Apply
+// mutates it in place); History may share its backing array with the
+// writer because entries are immutable and the writer only ever appends
+// past this snapshot's length or replaces the slice wholesale — the
+// slots below len are never rewritten.
+func (r *Root) SnapshotView() any {
+	var tv *nameserver.Tree
+	if r.Tree == nil {
+		tv = nameserver.NewTree()
+	} else {
+		tv = r.Tree.SnapshotView().(*nameserver.Tree)
+	}
+	return &Root{
+		Tree:       tv,
+		Vector:     copyVector(r.Vector),
+		Clock:      r.Clock,
+		History:    r.History,
+		HistoryCap: r.HistoryCap,
+	}
+}
+
 // Entry is one replicated update: who issued it, its per-origin sequence,
 // its Lamport stamp, and the underlying single-shot update.
 type Entry struct {

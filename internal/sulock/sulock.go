@@ -53,22 +53,48 @@ type instrumentation struct {
 	tracer                                        obs.Tracer
 }
 
+// InstrumentOption tunes Instrument.
+type InstrumentOption func(*instrumentOptions)
+
+type instrumentOptions struct {
+	skipShared bool
+}
+
+// SkipShared omits the shared-mode series (*_lock_shared_wait_ns,
+// *_lock_shared_contended) from the registry. A store whose enquiries
+// bypass the lock entirely — lock-free versioned reads — never acquires
+// shared mode, and exporting permanently-zero series would misleadingly
+// suggest reads still contend here. Shared acquisitions on such a lock
+// are still correct; they just go unrecorded.
+func SkipShared() InstrumentOption {
+	return func(o *instrumentOptions) { o.skipShared = true }
+}
+
 // Instrument wires the lock's contention metrics into reg under
 // prefix+"_lock_*" names (wait-time histograms and contended-acquisition
 // counters) and, if tr is non-nil, emits a "lock.wait" event for every
 // acquisition that had to block. Call before the lock is in use.
-func (l *Lock) Instrument(reg *obs.Registry, prefix string, tr obs.Tracer) {
+func (l *Lock) Instrument(reg *obs.Registry, prefix string, tr obs.Tracer, opts ...InstrumentOption) {
+	var o instrumentOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.ins = &instrumentation{
-		sharedWait:      reg.Histogram(prefix + "_lock_shared_wait_ns"),
+	ins := &instrumentation{
 		updateWait:      reg.Histogram(prefix + "_lock_update_wait_ns"),
 		upgradeWait:     reg.Histogram(prefix + "_lock_upgrade_wait_ns"),
-		sharedContended: reg.Counter(prefix + "_lock_shared_contended"),
 		updateContended: reg.Counter(prefix + "_lock_update_contended"),
 		upContended:     reg.Counter(prefix + "_lock_upgrade_contended"),
 		tracer:          tr,
 	}
+	if !o.skipShared {
+		// The histogram/counter handles stay nil when skipped; the obs
+		// types are nil-safe, so record() needs no branch.
+		ins.sharedWait = reg.Histogram(prefix + "_lock_shared_wait_ns")
+		ins.sharedContended = reg.Counter(prefix + "_lock_shared_contended")
+	}
+	l.ins = ins
 }
 
 // record notes one contended acquisition of dur in mode. Called without
