@@ -35,18 +35,20 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "workload seed; (seed, point) replays any failure")
-		ops     = flag.Int("ops", 50, "number of updates in the workload")
-		cpEvery = flag.Int("cp-every", 0, "checkpoint after every k updates (0 = ops/4+1, negative = never)")
-		mode    = flag.String("mode", "store,replica", "comma-separated modes: store, replica")
-		from    = flag.Int64("from", 0, "first point to replay")
-		to      = flag.Int64("to", -1, "last point to replay (<= 0 = through the final op)")
-		stride  = flag.Int64("stride", 1, "replay every stride-th point")
-		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "points replayed in parallel")
-		overlap = flag.Bool("overlap", false, "commit updates inside each checkpoint's mirror window (sweeps the non-blocking checkpoint protocol)")
-		nosync  = flag.Bool("nosync", false, "run without log syncs (store mode must then report violations; replica mode must still recover via its peer)")
-		readers = flag.Int("readers", 0, "concurrent snapshot readers validating lock-free enquiries against the oracle during every workload and catch-up")
-		verbose = flag.Bool("v", false, "log progress")
+		seed      = flag.Int64("seed", 1, "workload seed; (seed, point) replays any failure")
+		ops       = flag.Int("ops", 50, "number of updates in the workload")
+		cpEvery   = flag.Int("cp-every", 0, "checkpoint after every k updates (0 = ops/4+1, negative = never)")
+		mode      = flag.String("mode", "store,replica", "comma-separated modes: store, replica")
+		from      = flag.Int64("from", 0, "first point to replay")
+		to        = flag.Int64("to", -1, "last point to replay (<= 0 = through the final op)")
+		stride    = flag.Int64("stride", 1, "replay every stride-th point")
+		shards    = flag.Int("shards", runtime.GOMAXPROCS(0), "points replayed in parallel")
+		overlap   = flag.Bool("overlap", false, "commit updates inside each checkpoint's mirror window (sweeps the non-blocking checkpoint protocol)")
+		nosync    = flag.Bool("nosync", false, "run without log syncs (store mode must then report violations; replica mode must still recover via its peer)")
+		readers   = flag.Int("readers", 0, "concurrent snapshot readers validating lock-free enquiries against the oracle during every workload and catch-up")
+		logShards = flag.Int("log-shards", 0, "split the redo log into this many parallel streams (0/1 = single stream); seals sync serially so the sweep stays deterministic")
+		batch     = flag.Int("batch", 0, "group every k workload updates into one ApplyBatch — one epoch spanning several streams (0/1 = one update at a time)")
+		verbose   = flag.Bool("v", false, "log progress")
 
 		net      = flag.Bool("net", false, "run the partition sweep instead of the crash-point sweep")
 		netCrash = flag.Bool("net-crash", false, "with -net: also power-fail the acking node at the heal point")
@@ -74,6 +76,8 @@ func main() {
 			OverlapCheckpoints: *overlap,
 			UnsafeNoSync:       *nosync,
 			Readers:            *readers,
+			LogShards:          *logShards,
+			Batch:              *batch,
 		}
 		if *verbose {
 			cfg.Logf = log.Printf
@@ -97,6 +101,12 @@ func main() {
 		}
 		if *readers != 0 {
 			extra += fmt.Sprintf(" -readers %d", *readers)
+		}
+		if *logShards > 1 {
+			extra += fmt.Sprintf(" -log-shards %d", *logShards)
+		}
+		if *batch > 1 {
+			extra += fmt.Sprintf(" -batch %d", *batch)
 		}
 		for _, v := range res.Violations {
 			fmt.Printf("VIOLATION %s\n", v)

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"smalldb/internal/checkpoint"
@@ -31,9 +32,10 @@ import (
 func main() {
 	var (
 		dir    = flag.String("dir", "", "database directory (required)")
-		logV   = flag.Uint64("log", 0, "dump the entries of logfile<N>")
+		logV   = flag.Uint64("log", 0, "dump the entries of logfile<N>, merging its streams by global sequence when the log is sharded")
 		archV  = flag.Uint64("archive", 0, "dump the entries of archive-logfile<N> (§4 audit trail)")
 		cpV    = flag.Uint64("checkpoint", 0, "dump the contents of checkpoint<N>")
+		stream = flag.Int("stream", -1, "with -log/-archive: dump only stream <i> of a sharded log instead of the merge (0 = the base file)")
 		maxLen = flag.Int("max", 0, "dump at most this many log entries (0 = all)")
 		stats  = flag.Bool("stats", false, "print entry-count, byte and payload-size histogram summaries instead of entries")
 		flight = flag.Bool("flight", false, "decode the crash-surviving flight-recorder ring (the black box)")
@@ -52,20 +54,31 @@ func main() {
 	case *flight:
 		dumpFlight(fs)
 	case *stats && *logV > 0:
-		statsLogFile(fs, checkpoint.LogName(*logV))
+		statsLog(fs, checkpoint.LogName(*logV), *stream)
 	case *stats && *archV > 0:
-		statsLogFile(fs, checkpoint.ArchiveLogName(*archV))
+		statsLog(fs, checkpoint.ArchiveLogName(*archV), *stream)
 	case *stats:
 		statsAll(fs)
 	case *logV > 0:
-		dumpLogFile(fs, checkpoint.LogName(*logV), *maxLen)
+		dumpLog(fs, checkpoint.LogName(*logV), *maxLen, *stream)
 	case *archV > 0:
-		dumpLogFile(fs, checkpoint.ArchiveLogName(*archV), *maxLen)
+		dumpLog(fs, checkpoint.ArchiveLogName(*archV), *maxLen, *stream)
 	case *cpV > 0:
 		dumpCheckpoint(fs, *cpV)
 	default:
 		summarize(fs)
 	}
+}
+
+// isShardStream reports whether name is a non-base stream file of a sharded
+// log (base.<i>, i >= 1).
+func isShardStream(name string) bool {
+	dot := strings.LastIndexByte(name, '.')
+	if dot < 0 {
+		return false
+	}
+	i, err := strconv.Atoi(name[dot+1:])
+	return err == nil && i >= 1
 }
 
 func summarize(fs vfs.FS) {
@@ -84,32 +97,63 @@ func summarize(fs vfs.FS) {
 		}
 	}
 	// Count entries of each log (current and archived) without decoding
-	// payloads.
+	// payloads. Shard streams (logfileN.i) are summarized per stream, then
+	// merged under their base by global sequence.
 	for _, n := range names {
 		if !strings.HasPrefix(n, "logfile") && !strings.HasPrefix(n, "archive-logfile") {
 			continue
 		}
-		start, ok, err := wal.FirstSeq(fs, n)
-		if err != nil || !ok {
-			fmt.Printf("%s: empty\n", n)
+		if isShardStream(n) {
+			continue // summarized under its base below
+		}
+		streams, err := wal.ShardFiles(fs, n)
+		if err != nil {
+			fmt.Printf("%s: %v\n", n, err)
 			continue
 		}
-		entries := 0
-		var first, last uint64
-		wal.Replay(fs, n, start, wal.ReplayOptions{}, func(seq uint64, _ []byte) error {
-			if entries == 0 {
-				first = seq
+		for _, sn := range streams {
+			start, ok, err := wal.FirstSeq(fs, sn)
+			if err != nil || !ok {
+				fmt.Printf("%s: empty\n", sn)
+				continue
 			}
-			last = seq
-			entries++
-			return nil
-		})
-		fmt.Printf("%s: %d entries (seq %d..%d)\n", n, entries, first, last)
+			entries := 0
+			var first, last uint64
+			wal.Replay(fs, sn, start, wal.ReplayOptions{Monotonic: true}, func(seq uint64, _ []byte) error {
+				if entries == 0 {
+					first = seq
+				}
+				last = seq
+				entries++
+				return nil
+			})
+			fmt.Printf("%s: %d entries (seq %d..%d)\n", sn, entries, first, last)
+		}
+		if len(streams) > 1 {
+			first, ok, err := wal.FirstSeqSharded(fs, n)
+			if err != nil || !ok {
+				continue
+			}
+			res, err := wal.ReplayShardedPipelined(fs, n, first, wal.ReplayOptions{}, 4,
+				func(_ uint64, _ []byte) (any, error) { return nil, nil },
+				func(_ uint64, _ any) error { return nil })
+			if err != nil {
+				fmt.Printf("%s (merged): %v\n", n, err)
+				continue
+			}
+			gap := ""
+			if res.GapAt != 0 {
+				gap = fmt.Sprintf(", gap at seq %d (%d unacknowledged entries beyond it)", res.GapAt, res.Discarded)
+			}
+			fmt.Printf("%s (merged, %d streams): %d entries (seq %d..%d)%s\n",
+				n, len(streams), res.Entries, first, res.LastSeq, gap)
+		}
 	}
 }
 
-// statsAll prints a payload-size summary line for every log in the
-// directory, current and archived.
+// statsAll prints a payload-size summary line for every log stream in the
+// directory, current and archived — sharded logs get one summary per
+// stream.
 func statsAll(fs vfs.FS) {
 	names, err := fs.List()
 	if err != nil {
@@ -128,6 +172,25 @@ func statsAll(fs vfs.FS) {
 	}
 }
 
+// statsLog prints the stats of one log version: the chosen stream, or every
+// stream of a sharded log in stream order.
+func statsLog(fs vfs.FS, base string, stream int) {
+	if stream >= 0 {
+		statsLogFile(fs, wal.ShardName(base, stream))
+		return
+	}
+	streams, err := wal.ShardFiles(fs, base)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if len(streams) == 0 {
+		fatal("%s: no such log (and no streams of it)", base)
+	}
+	for _, sn := range streams {
+		statsLogFile(fs, sn)
+	}
+}
+
 // statsLogFile replays one log, feeding payload sizes into a histogram,
 // and prints count/bytes/percentile summaries plus the distribution.
 func statsLogFile(fs vfs.FS, name string) {
@@ -143,10 +206,12 @@ func statsLogFile(fs vfs.FS, name string) {
 		fmt.Printf("%s: empty (%d bytes on disk)\n", name, size)
 		return
 	}
-	// Skip damaged entries so a partly unreadable log still summarizes.
+	// Skip damaged entries so a partly unreadable log still summarizes;
+	// Monotonic admits shard streams, which hold only a residue class of
+	// the global sequences.
 	var h obs.Histogram
 	var first, last uint64
-	res, err := wal.Replay(fs, name, start, wal.ReplayOptions{SkipDamaged: true}, func(seq uint64, payload []byte) error {
+	res, err := wal.Replay(fs, name, start, wal.ReplayOptions{SkipDamaged: true, Monotonic: true}, func(seq uint64, payload []byte) error {
 		if first == 0 {
 			first = seq
 		}
@@ -188,6 +253,70 @@ func overheadPct(disk, payload int64) float64 {
 	return 100 * float64(disk-payload) / float64(disk)
 }
 
+// dumpLog dumps one log version: the chosen stream alone, or — when the
+// log is sharded — every stream merged by global sequence, exactly the
+// order recovery replays them in.
+func dumpLog(fs vfs.FS, base string, max, stream int) {
+	if stream >= 0 {
+		dumpLogFile(fs, wal.ShardName(base, stream), max)
+		return
+	}
+	streams, err := wal.ShardFiles(fs, base)
+	if err != nil {
+		fatal("%v", err)
+	}
+	switch {
+	case len(streams) == 0:
+		fatal("%s: no such log (and no streams of it)", base)
+	case len(streams) == 1 && streams[0] == base:
+		dumpLogFile(fs, base, max)
+		return
+	}
+
+	fmt.Printf("%s: sharded log, %d streams: %s\n", base, len(streams), strings.Join(streams, ", "))
+	first, ok, err := wal.FirstSeqSharded(fs, base)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if !ok {
+		fmt.Printf("%s: all streams empty\n", base)
+		return
+	}
+	n := 0
+	res, err := wal.ReplayShardedPipelined(fs, base, first, wal.ReplayOptions{}, 4,
+		func(seq uint64, payload []byte) (any, error) {
+			// Decode generically off the merge's worker pool; formatting
+			// failures are per-entry notes, not errors.
+			v, derr := pickle.NewDecoder(strings.NewReader(string(payload))).DecodeAny()
+			if derr != nil {
+				return fmt.Sprintf("%d bytes (undecodable: %v)", len(payload), derr), nil
+			}
+			return pickle.Format(v), nil
+		},
+		func(seq uint64, v any) error {
+			if max > 0 && n >= max {
+				return errStop
+			}
+			n++
+			fmt.Printf("entry %d: %s\n", seq, v)
+			return nil
+		})
+	if err != nil && err != errStop {
+		fatal("merging %s: %v", base, err)
+	}
+	for i, sr := range res.StreamResults {
+		if sr.Truncated {
+			fmt.Printf("(%s: torn tail entry discarded at offset %d)\n", res.Names[i], sr.GoodSize)
+		}
+	}
+	if err == nil && res.GapAt != 0 {
+		fmt.Printf("(sequence gap at %d: %d entries beyond it belong to unacknowledged epochs and are ignored by recovery)\n",
+			res.GapAt, res.Discarded)
+	}
+}
+
+var errStop = fmt.Errorf("stop")
+
 func dumpLogFile(fs vfs.FS, name string, max int) {
 	start, ok, err := wal.FirstSeq(fs, name)
 	if err != nil {
@@ -198,9 +327,9 @@ func dumpLogFile(fs vfs.FS, name string, max int) {
 		return
 	}
 	n := 0
-	res, err := wal.Replay(fs, name, start, wal.ReplayOptions{}, func(seq uint64, payload []byte) error {
+	res, err := wal.Replay(fs, name, start, wal.ReplayOptions{Monotonic: true}, func(seq uint64, payload []byte) error {
 		if max > 0 && n >= max {
-			return fmt.Errorf("stop")
+			return errStop
 		}
 		n++
 		v, derr := pickle.NewDecoder(strings.NewReader(string(payload))).DecodeAny()
@@ -211,7 +340,7 @@ func dumpLogFile(fs vfs.FS, name string, max int) {
 		fmt.Printf("entry %d: %s\n", seq, pickle.Format(v))
 		return nil
 	})
-	if err != nil && !strings.Contains(err.Error(), "stop") {
+	if err != nil && err != errStop {
 		fatal("replaying %s: %v", name, err)
 	}
 	if res.Truncated {

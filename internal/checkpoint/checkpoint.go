@@ -34,6 +34,7 @@ import (
 
 	"smalldb/internal/obs"
 	"smalldb/internal/vfs"
+	"smalldb/internal/wal"
 )
 
 const (
@@ -54,20 +55,34 @@ func CheckpointName(v uint64) string { return checkpointPrefix + strconv.FormatU
 // LogName returns the log file name for a version.
 func LogName(v uint64) string { return logPrefix + strconv.FormatUint(v, 10) }
 
+// ShardLogName returns the file name of one stream of a sharded log for a
+// version: LogName(v) itself for stream 0, logfileN.<shard> above it — the
+// wal.Sharded naming convention applied to the protocol's log names.
+func ShardLogName(v uint64, shard int) string { return wal.ShardName(LogName(v), shard) }
+
 // ArchiveLogName returns the name a version's log is archived under when
 // the audit trail is kept (§4: "the log files form a complete audit trail
 // for the database, and could be retained if desired").
 func ArchiveLogName(v uint64) string { return archivePrefix + strconv.FormatUint(v, 10) }
 
-// ArchivedLogs lists the versions with archived logs, ascending.
+// ArchiveShardLogName returns the archive name of one stream of a sharded
+// log for a version.
+func ArchiveShardLogName(v uint64, shard int) string {
+	return wal.ShardName(ArchiveLogName(v), shard)
+}
+
+// ArchivedLogs lists the versions with archived logs, ascending. A version
+// whose log was sharded counts once however many streams it has.
 func ArchivedLogs(fs vfs.FS) ([]uint64, error) {
 	names, err := fs.List()
 	if err != nil {
 		return nil, err
 	}
+	seen := map[uint64]bool{}
 	var versions []uint64
 	for _, n := range names {
-		if v, ok := parseNumbered(n, archivePrefix); ok {
+		if v, ok := parseNumberedShard(n, archivePrefix); ok && !seen[v] {
+			seen[v] = true
 			versions = append(versions, v)
 		}
 	}
@@ -271,7 +286,7 @@ func cleanup(fs vfs.FS, cur uint64, opts Options) (State, error) {
 	for _, n := range names {
 		if v, ok := parseNumbered(n, checkpointPrefix); ok {
 			versions[v] = true
-		} else if v, ok := parseNumbered(n, logPrefix); ok {
+		} else if v, ok := parseNumberedShard(n, logPrefix); ok {
 			versions[v] = true
 		}
 	}
@@ -286,15 +301,23 @@ func cleanup(fs vfs.FS, cur uint64, opts Options) (State, error) {
 			retained = append(retained, v)
 			continue
 		}
+		// A sharded version's log is all its stream files.
+		streams, err := wal.ShardFiles(fs, LogName(v))
+		if err != nil {
+			return State{}, err
+		}
 		// Only logs of *completed* versions (older than cur) belong in
 		// the audit trail; debris of a crashed switch (v > cur) never
 		// held committed updates.
-		if opts.ArchiveLogs && v < cur && vfs.Exists(fs, LogName(v)) {
-			if err := fs.Rename(LogName(v), ArchiveLogName(v)); err != nil {
-				return State{}, err
+		if opts.ArchiveLogs && v < cur {
+			for _, n := range streams {
+				if err := fs.Rename(n, archivePrefix+strings.TrimPrefix(n, logPrefix)); err != nil {
+					return State{}, err
+				}
 			}
+			streams = nil
 		}
-		for _, n := range []string{CheckpointName(v), LogName(v)} {
+		for _, n := range append(streams, CheckpointName(v)) {
 			if vfs.Exists(fs, n) {
 				if err := fs.Remove(n); err != nil {
 					return State{}, err
@@ -312,6 +335,30 @@ func parseNumbered(name, prefix string) (uint64, bool) {
 	}
 	v, err := strconv.ParseUint(name[len(prefix):], 10, 64)
 	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseNumberedShard is parseNumbered extended to the stream files of a
+// sharded log: prefix<v> or prefix<v>.<shard> with shard >= 1.
+func parseNumberedShard(name, prefix string) (uint64, bool) {
+	if v, ok := parseNumbered(name, prefix); ok {
+		return v, true
+	}
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	rest := name[len(prefix):]
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(rest[:dot], 10, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	if shard, err := strconv.Atoi(rest[dot+1:]); err != nil || shard < 1 {
 		return 0, false
 	}
 	return v, true
@@ -392,6 +439,34 @@ func CreateLogFile(fs vfs.FS, v uint64) (vfs.File, error) {
 	return f, nil
 }
 
+// CreateShardLogFiles creates version v's empty stream files — stream 0 is
+// LogName(v) itself, so a one-shard call is CreateLogFile — syncs each, and
+// returns the open handles in stream order: the sharded non-blocking
+// checkpoint hands them to the mirror window via AttachMirrorFiles. On
+// error every file it created is closed and removed.
+func CreateShardLogFiles(fs vfs.FS, v uint64, shards int) ([]vfs.File, error) {
+	files := make([]vfs.File, 0, shards)
+	for i := 0; i < shards; i++ {
+		f, err := fs.Create(ShardLogName(v, i))
+		if err == nil {
+			if serr := f.Sync(); serr != nil {
+				f.Close()
+				err = serr
+			}
+		}
+		if err != nil {
+			for j, g := range files {
+				g.Close()
+				_ = fs.Remove(ShardLogName(v, j))
+			}
+			_ = fs.Remove(ShardLogName(v, i))
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
 // CommitNewVersion durably writes the newversion file naming v — the commit
 // point of the switch. Until it returns successfully the old version is
 // still what recovery restores; afterwards it is v. The caller must have
@@ -425,8 +500,11 @@ func Finish(fs vfs.FS, v uint64, opts Options) (State, error) {
 // succeeded. Removal is best-effort: anything left behind is cleared by the
 // next switch or recovery.
 func Abort(fs vfs.FS, v uint64) {
-	for _, n := range []string{CheckpointName(v), LogName(v)} {
-		if vfs.Exists(fs, n) {
+	if vfs.Exists(fs, CheckpointName(v)) {
+		_ = fs.Remove(CheckpointName(v))
+	}
+	if streams, err := wal.ShardFiles(fs, LogName(v)); err == nil {
+		for _, n := range streams {
 			_ = fs.Remove(n)
 		}
 	}

@@ -295,3 +295,93 @@ func TestSwitchCrashAtEverySyncPoint(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedCleanupAndArchive: a version whose log was sharded has stream
+// files logfileN.1, logfileN.2, ... next to logfileN; retention, deletion
+// and archival must cover all of them, not just the base file.
+func TestShardedCleanupAndArchive(t *testing.T) {
+	fs := vfs.NewMem(1)
+	st := mustInit(t, fs, "cp1")
+	// Give version 1 a sharded log: two extra stream files.
+	for _, n := range []string{ShardLogName(1, 1), ShardLogName(1, 2)} {
+		if err := vfs.WriteFile(fs, n, []byte("stream")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Retained: the whole stream set survives.
+	st2, err := SwitchWith(fs, st, writeBytes([]byte("cp2")), Options{Retain: 1, ArchiveLogs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st2.Retained, []uint64{1}) {
+		t.Fatalf("retained %v", st2.Retained)
+	}
+	for _, n := range []string{LogName(1), ShardLogName(1, 1), ShardLogName(1, 2)} {
+		if !vfs.Exists(fs, n) {
+			t.Errorf("retained stream %s missing", n)
+		}
+	}
+
+	// Out of the window: every stream is archived, none deleted silently.
+	st3, err := SwitchWith(fs, st2, writeBytes([]byte("cp3")), Options{Retain: 1, ArchiveLogs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st3
+	for _, n := range []string{LogName(1), ShardLogName(1, 1), ShardLogName(1, 2), CheckpointName(1)} {
+		if vfs.Exists(fs, n) {
+			t.Errorf("%s survived cleanup", n)
+		}
+	}
+	for shard := 0; shard < 3; shard++ {
+		if !vfs.Exists(fs, ArchiveShardLogName(1, shard)) {
+			t.Errorf("archive stream %d missing", shard)
+		}
+	}
+	vers, err := ArchivedLogs(fs)
+	if err != nil || !reflect.DeepEqual(vers, []uint64{1}) {
+		t.Errorf("archived versions %v, %v", vers, err)
+	}
+
+	// Without archiving, cleanup deletes the whole stream set.
+	fs2 := vfs.NewMem(1)
+	stA := mustInit(t, fs2, "cp1")
+	vfs.WriteFile(fs2, ShardLogName(1, 1), []byte("stream"))
+	if _, err := Switch(fs2, stA, writeBytes([]byte("cp2")), 0); err != nil {
+		t.Fatal(err)
+	}
+	if vfs.Exists(fs2, ShardLogName(1, 1)) {
+		t.Error("stream file survived unarchived cleanup")
+	}
+}
+
+// TestShardedAbort: Abort clears the stream files of a prepared sharded
+// switch along with the base pair.
+func TestShardedAbort(t *testing.T) {
+	fs := vfs.NewMem(1)
+	st := mustInit(t, fs, "cp1")
+	next, err := Prepare(fs, st, writeBytes([]byte("cp2")), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := CreateShardLogFiles(fs, next, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		f.Close()
+	}
+	Abort(fs, next)
+	for shard := 0; shard < 3; shard++ {
+		if vfs.Exists(fs, ShardLogName(next, shard)) {
+			t.Errorf("stream %d survived abort", shard)
+		}
+	}
+	if vfs.Exists(fs, CheckpointName(next)) {
+		t.Error("checkpoint survived abort")
+	}
+	if st2, err := Recover(fs, 0); err != nil || st2.Version != 1 {
+		t.Errorf("recover after abort: %+v %v", st2, err)
+	}
+}

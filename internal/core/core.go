@@ -118,6 +118,23 @@ type Config struct {
 	// decodes log entries on n goroutines while applying them strictly in
 	// sequence order — the recovered state is identical either way.
 	ReplayWorkers int
+	// LogShards splits the redo log into this many parallel streams
+	// (logfileN, logfileN.1, ...), each with its own syncer; updates hash
+	// to a stream by global sequence and commit under epoch-based group
+	// commit — an update is acknowledged once every stream that wrote in
+	// its epoch has synced. 0 and 1 are the paper's single stream. The
+	// recovered state is identical either way (restart merges the streams
+	// by sequence), and the count may change across restarts. Sharding
+	// implies the group-commit pipeline: the in-memory apply precedes the
+	// durability wait, exactly as under GroupCommit, and versioned
+	// enquiries still only ever observe durable state (publication is
+	// deferred to the epoch barrier).
+	LogShards int
+	// SerialLogSync makes each sharded epoch seal sync its streams one at
+	// a time in stream order instead of in parallel. It exists for the
+	// deterministic crash sweeps, which need a deterministic file-
+	// operation order; it costs exactly the parallel-sync win.
+	SerialLogSync bool
 	// MaxLogBytes, when > 0, triggers an automatic checkpoint after an
 	// update leaves the log larger than this.
 	MaxLogBytes int64
@@ -205,6 +222,32 @@ type Stats struct {
 	AppliedSeq uint64
 }
 
+// storeLog is the store's view of its redo log. Both layouts — the paper's
+// single *wal.Log and the sharded *wal.Sharded — commit, flush, mirror and
+// close identically; opening and the mirror-window attach (one file vs one
+// per stream) are the only branch points, and both live behind openLog and
+// checkpointNonBlocking.
+type storeLog interface {
+	Append(payload []byte) (uint64, error)
+	AppendAsync(payload []byte) (uint64, func() error)
+	Flush() error
+	Size() int64
+	Close() error
+	MirrorActive() bool
+	BeginMirror() error
+	SyncMirror() error
+	FinishMirror(newName string) (int64, error)
+	AbortMirror()
+}
+
+// pendingPub is one update applied in memory but not yet acknowledged
+// durable by its epoch barrier: its captured version view waits in the
+// publication queue until the durable frontier covers its sequence.
+type pendingPub struct {
+	seq  uint64
+	view any
+}
+
 // Store is an open small database.
 type Store struct {
 	cfg  Config
@@ -228,9 +271,15 @@ type Store struct {
 	// never takes statMu.
 	enquiries atomic.Uint64
 
+	// pubMu guards the deferred-publication queue of the sharded commit
+	// path: views captured under the exclusive lock, published in sequence
+	// order once the epoch barrier acknowledges them.
+	pubMu      sync.Mutex
+	pendingPub []pendingPub
+
 	// mu guards the fields below (log/checkpoint administration).
 	mu         sync.Mutex
-	log        *wal.Log
+	log        storeLog
 	cpState    checkpoint.State
 	applied    uint64 // sequence of the last update applied to root
 	logEntries int64
@@ -313,6 +362,7 @@ func (s *Store) initObs() {
 		})
 		reg.Register("core_applied_seq", func() any { return s.AppliedSeq() })
 		reg.Register("core_checkpoint_version", func() any { return s.Version() })
+		reg.Register("core_log_shards", func() any { return int64(s.logShards()) })
 		reg.Register("replay_decode_workers", func() any { return s.replayWorkers() })
 		reg.Register("pickle_plan_compiles", func() any {
 			st := pickle.Stats()
@@ -374,6 +424,12 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.NewRoot == nil {
 		return nil, fmt.Errorf("core: Config.NewRoot is required")
 	}
+	if cfg.LogShards > 1 && cfg.SkipDamagedLogEntries {
+		// In a sequence merge, hopping over a damaged entry is
+		// indistinguishable from truncating at an epoch gap; see the
+		// sharded recovery notes in internal/wal.
+		return nil, fmt.Errorf("core: SkipDamagedLogEntries is not supported with LogShards > 1")
+	}
 	s := &Store{cfg: cfg}
 	if !cfg.LockedEnquiries {
 		// Probe a throwaway root: versioning is a property of the root
@@ -403,7 +459,7 @@ func (s *Store) initFresh() (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	l, err := wal.Open(s.cfg.FS, st.LogName(), 1, s.walOpts())
+	l, err := s.openLog(st.LogName(), 1)
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +507,7 @@ func (s *Store) load(st checkpoint.State) error {
 		return err
 	}
 
-	l, err := wal.Open(s.cfg.FS, st.LogName(), res.NextSeq, s.walOpts())
+	l, err := s.openLog(st.LogName(), res.NextSeq)
 	if err != nil {
 		return err
 	}
@@ -512,12 +568,16 @@ func (s *Store) replayWorkers() int {
 // result. When the log was replayed after a fallback checkpoint, firstSeq
 // overrides the header's. Decoding runs on the replayWorkers() pipeline;
 // updates are applied strictly in sequence order, so the recovered root is
-// identical to a sequential replay.
+// identical to a sequential replay. Recovery is layout-discovering: when
+// stream files (logfileN.1, ...) exist beside the base log, all streams
+// replay concurrently and merge by global sequence — whatever LogShards is
+// configured now — and with only the base file this is exactly the
+// single-stream pipelined replay.
 func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wal.ReplayOptions) (wal.ReplayResult, error) {
 	// Progress events let an operator watch a long restart converge.
 	const progressEvery = 10000
 	start := time.Now()
-	res, err := wal.ReplayPipelined(s.cfg.FS, logName, firstSeq, opts, s.replayWorkers(),
+	sres, err := wal.ReplayShardedPipelined(s.cfg.FS, logName, firstSeq, opts, s.replayWorkers(),
 		func(seq uint64, payload []byte) (any, error) {
 			rec := new(logRecord)
 			if err := pickle.Unmarshal(payload, rec); err != nil {
@@ -539,10 +599,18 @@ func (s *Store) replayInto(hdr *header, logName string, firstSeq uint64, opts wa
 			}
 			return nil
 		})
+	res := wal.ReplayResult{
+		Entries:   sres.Entries,
+		LastSeq:   sres.LastSeq,
+		NextSeq:   sres.NextSeq,
+		Truncated: sres.Truncated,
+		Damaged:   sres.Damaged,
+	}
 	dur := time.Since(start)
 	s.recordStats(func(st *Stats) { st.RestartReplayTime += dur })
 	obs.Emit(s.tracer, obs.Event{Name: "restart.replay", Dur: dur, Err: err, Attrs: []obs.Attr{
 		obs.A("log", logName), obs.A("entries", res.Entries), obs.A("damaged", res.Damaged), obs.A("torn", res.Truncated),
+		obs.A("streams", len(sres.Names)), obs.A("discarded", sres.Discarded),
 		obs.A("decode_workers", s.replayWorkers()),
 	}})
 	return res, err
@@ -575,12 +643,13 @@ func (s *Store) View(fn func(root any) error) error {
 	return fn(s.root)
 }
 
-// recordUpdate folds one committed update's phase boundaries into the
-// sums, histograms and counters, and emits the update.commit event — as
-// the closing of the update's root span when upd is active (a traced
-// apply), as a flat event otherwise.
-func (s *Store) recordUpdate(t0, t1, t2, t3, t4 time.Time, seq uint64, payloadBytes int, upd obs.Span) {
-	verify, pickling, commit, apply := t1.Sub(t0), t2.Sub(t1), t3.Sub(t2), t4.Sub(t3)
+// recordUpdate folds one committed update's phase durations into the sums,
+// histograms and counters, and emits the update.commit event — as the
+// closing of the update's root span when upd is active (a traced apply),
+// as a flat event otherwise. Phases are passed as durations rather than
+// boundary timestamps because the sharded commit path's phases are not
+// consecutive: its commit (the epoch-barrier wait) runs after the apply.
+func (s *Store) recordUpdate(start time.Time, verify, pickling, commit, apply time.Duration, seq uint64, payloadBytes int, upd obs.Span) {
 	s.hist.verify.ObserveDuration(verify)
 	s.hist.pickle.ObserveDuration(pickling)
 	s.hist.commit.ObserveDuration(commit)
@@ -598,7 +667,7 @@ func (s *Store) recordUpdate(t0, t1, t2, t3, t4 time.Time, seq uint64, payloadBy
 		upd.End(nil, obs.A("seq", seq), obs.A("bytes", payloadBytes), obs.A("commit", commit.Round(time.Microsecond)))
 		return
 	}
-	obs.Emit(s.tracer, obs.Event{Name: "update.commit", Time: t0, Dur: t4.Sub(t0), Attrs: []obs.Attr{
+	obs.Emit(s.tracer, obs.Event{Name: "update.commit", Time: start, Dur: verify + pickling + commit + apply, Attrs: []obs.Attr{
 		obs.A("seq", seq), obs.A("bytes", payloadBytes), obs.A("commit", commit.Round(time.Microsecond)),
 	}})
 }
@@ -680,7 +749,20 @@ func (s *Store) ApplyTraced(u Update, sc obs.SpanContext) error {
 	var commitErr error
 	var wait func() error
 	var seq uint64
+	sl, sharded := log.(*wal.Sharded)
 	switch {
+	case sharded:
+		// The sharded commit pipeline: take a global sequence from the
+		// ticket and frame the entry into its stream's pending buffer —
+		// no I/O — then apply in memory and wait out the epoch barrier
+		// after the locks are released, sharing it with every concurrent
+		// committer. Durability semantics are GroupCommit's.
+		seq, wait = log.AppendAsync(payload)
+		if traced {
+			s.tracer.Emit(obs.Event{Name: "wal.append", Time: t2, Dur: time.Since(t2),
+				Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+				Attrs: []obs.Attr{obs.A("seq", seq), obs.A("bytes", payloadBytes)}})
+		}
 	case s.cfg.GroupCommit:
 		seq, wait = log.AppendAsync(payload)
 	case traced:
@@ -733,11 +815,20 @@ func (s *Store) ApplyTraced(u Update, sc obs.SpanContext) error {
 	}
 	applyErr := u.Apply(s.root)
 	if applyErr == nil {
-		// Publication point: the version becomes visible to lock-free
-		// enquiries here, after the WAL commit above and the in-memory
-		// apply, still inside the exclusive section so publishes are
-		// serialized in sequence order.
-		s.publish(seq)
+		if sharded {
+			// Deferred publication: capture the new version now, under
+			// the exclusive lock, but publish only once the epoch
+			// barrier acknowledges the sequence — lock-free enquiries
+			// never observe state a crash could erase, even though the
+			// in-memory apply ran ahead of the sync.
+			s.queuePublish(seq)
+		} else {
+			// Publication point: the version becomes visible to
+			// lock-free enquiries here, after the WAL commit above and
+			// the in-memory apply, still inside the exclusive section
+			// so publishes are serialized in sequence order.
+			s.publish(seq)
+		}
 		s.mu.Lock()
 		s.applied = seq
 		s.logEntries++
@@ -760,16 +851,73 @@ func (s *Store) ApplyTraced(u Update, sc obs.SpanContext) error {
 		return err
 	}
 
+	commitDur := t3.Sub(t2)
 	if wait != nil {
 		if err := wait(); err != nil {
 			s.poison(err)
 			return err
 		}
+		if sharded {
+			tSync := time.Now()
+			commitDur += tSync.Sub(t4)
+			if traced {
+				s.tracer.Emit(obs.Event{Name: "wal.sync", Time: t4, Dur: tSync.Sub(t4),
+					Trace: uctx.Trace, Span: obs.NewSpanID(), Parent: uctx.Span,
+					Attrs: []obs.Attr{obs.A("seq", seq)}})
+			}
+			// This sequence — and by the barrier's in-order rule every
+			// sequence below it — is durable: publish the queued views
+			// it covers before acknowledging the caller, preserving
+			// read-your-writes for lock-free enquiries.
+			s.publishDurable(sl.DurableSeq())
+		}
 	}
 
-	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes, upd)
+	s.recordUpdate(t0, t1.Sub(t0), t2.Sub(t1), commitDur, t4.Sub(t3), seq, payloadBytes, upd)
 	s.maybeAutoCheckpoint()
 	return nil
+}
+
+// queuePublish captures the just-applied root's new version under the
+// exclusive lock and queues it for publication once its sequence is
+// acknowledged durable — the sharded commit path's deferred publication
+// point. No-op for unversioned roots.
+func (s *Store) queuePublish(seq uint64) {
+	if !s.versioned {
+		return
+	}
+	vr, ok := s.root.(VersionedRoot)
+	if !ok {
+		return
+	}
+	view := vr.SnapshotView()
+	s.pubMu.Lock()
+	s.pendingPub = append(s.pendingPub, pendingPub{seq: seq, view: view})
+	s.pubMu.Unlock()
+}
+
+// publishDurable publishes, in sequence order, every queued view whose
+// sequence the durable frontier covers. Queue order is publication order:
+// views are enqueued under the exclusive lock, so they are ascending, and
+// pubMu serializes concurrent committers draining the queue after their
+// barrier. The slice is shifted in place so the steady state allocates
+// nothing.
+func (s *Store) publishDurable(frontier uint64) {
+	s.pubMu.Lock()
+	n := 0
+	for n < len(s.pendingPub) && s.pendingPub[n].seq <= frontier {
+		p := s.pendingPub[n]
+		s.vs.publish(p.view, p.seq, s.vm.published, s.vm.reclaimed)
+		n++
+	}
+	if n > 0 {
+		rem := copy(s.pendingPub, s.pendingPub[n:])
+		for i := rem; i < len(s.pendingPub); i++ {
+			s.pendingPub[i] = pendingPub{}
+		}
+		s.pendingPub = s.pendingPub[:rem]
+	}
+	s.pubMu.Unlock()
 }
 
 // payloadPool recycles the buffers updates are pickled into on their way to
@@ -837,7 +985,113 @@ func (s *Store) applyCoarse(u Update) error {
 	s.mu.Unlock()
 	t4 := time.Now()
 
-	s.recordUpdate(t0, t1, t2, t3, t4, seq, payloadBytes, obs.Span{})
+	s.recordUpdate(t0, t1.Sub(t0), t2.Sub(t1), t3.Sub(t2), t4.Sub(t3), seq, payloadBytes, obs.Span{})
+	s.maybeAutoCheckpoint()
+	return nil
+}
+
+// ApplyBatch commits a batch of updates in one exclusive section:
+// verify/pickle/enqueue/apply each in order, then wait for the last one's
+// durability — one epoch barrier (or group-commit sync) covering the whole
+// batch. The batch is NOT atomic: if update i fails to verify, updates
+// [0, i) are already committed and the error is returned; callers needing
+// all-or-nothing semantics must pre-validate. Unlike Apply, the exclusive
+// lock is held for the whole loop, so locked enquiries are excluded for
+// the batch's duration (lock-free snapshot enquiries proceed regardless).
+// The crashtest harness uses batches to form deterministic multi-stream
+// epochs; servers can use them to amortize lock traffic on bulk loads.
+func (s *Store) ApplyBatch(us []Update) error {
+	if len(us) == 0 {
+		return nil
+	}
+	s.lock.Exclusive()
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		s.lock.ExclusiveUnlock()
+		return ErrClosed
+	case s.poisoned != nil:
+		err := s.poisoned
+		s.mu.Unlock()
+		s.lock.ExclusiveUnlock()
+		return err
+	}
+	log := s.log
+	s.mu.Unlock()
+	sl, sharded := log.(*wal.Sharded)
+
+	t0 := time.Now()
+	var wait func() error
+	var lastSeq uint64
+	applied := 0
+	var batchErr error
+	for _, u := range us {
+		if err := u.Verify(s.root); err != nil {
+			batchErr = err
+			break
+		}
+		bufp := payloadPool.Get().(*[]byte)
+		payload, err := pickle.AppendMarshal((*bufp)[:0], &logRecord{U: u})
+		if err != nil {
+			batchErr = fmt.Errorf("core: pickling update: %w", err)
+			break
+		}
+		seq, w := log.AppendAsync(payload)
+		putPayloadBuf(bufp, payload)
+		if err := u.Apply(s.root); err != nil {
+			err = fmt.Errorf("core: update applied to log but failed in memory (Verify/Apply contract broken): %w", err)
+			s.poison(err)
+			batchErr = err
+			break
+		}
+		if sharded {
+			s.queuePublish(seq)
+		}
+		s.mu.Lock()
+		s.applied = seq
+		s.logEntries++
+		s.mu.Unlock()
+		lastSeq, wait = seq, w
+		applied++
+	}
+	if !sharded && applied > 0 {
+		// Single-stream publication point, as in Apply: inside the
+		// exclusive section, after the appends. The batch's entries sync
+		// together below, so only the final state is published.
+		s.publish(lastSeq)
+	}
+	s.lock.ExclusiveUnlock()
+
+	// Even on an early error the applied prefix is enqueued and applied;
+	// wait out its durability so the usual acked ⇒ durable contract holds
+	// for every update this call reported nothing wrong about.
+	if wait != nil {
+		if err := wait(); err != nil {
+			s.poison(err)
+			if batchErr == nil {
+				batchErr = err
+			}
+			return batchErr
+		}
+		if sharded {
+			s.publishDurable(sl.DurableSeq())
+		}
+	}
+	if applied > 0 {
+		dur := time.Since(t0)
+		s.ctr.updates.Add(uint64(applied))
+		s.recordStats(func(st *Stats) {
+			st.Updates += uint64(applied)
+			st.AppliedSeq = lastSeq
+		})
+		obs.Emit(s.tracer, obs.Event{Name: "update.batch", Time: t0, Dur: dur, Attrs: []obs.Attr{
+			obs.A("updates", applied), obs.A("last_seq", lastSeq),
+		}})
+	}
+	if batchErr != nil {
+		return batchErr
+	}
 	s.maybeAutoCheckpoint()
 	return nil
 }
@@ -1039,6 +1293,14 @@ func (s *Store) checkpointNonBlocking() error {
 		s.lock.UpdateUnlock()
 		return err
 	}
+	if sl, ok := log.(*wal.Sharded); ok {
+		// The flush sealed an epoch covering every applied update, but
+		// their committers may still be blocked on the barrier with their
+		// publications queued. Drain the queue here — we hold the update
+		// lock, so applied is stable — or the pinned snapshot below would
+		// sit behind applied and force the locked-pickle fallback.
+		s.publishDurable(sl.DurableSeq())
+	}
 	s.mu.Lock()
 	nextSeq := s.applied + 1
 	s.mu.Unlock()
@@ -1119,13 +1381,26 @@ func (s *Store) checkpointNonBlocking() error {
 	ioTime := time.Since(ioStart)
 
 	switchStart := time.Now()
-	lf, err := checkpoint.CreateLogFile(s.cfg.FS, next)
-	if err != nil {
-		return abort(err)
-	}
-	if err := log.AttachMirrorFile(lf); err != nil {
-		lf.Close()
-		return abort(err)
+	if sl, ok := log.(*wal.Sharded); ok {
+		files, err := checkpoint.CreateShardLogFiles(s.cfg.FS, next, sl.Shards())
+		if err != nil {
+			return abort(err)
+		}
+		if err := sl.AttachMirrorFiles(files); err != nil {
+			for _, f := range files {
+				f.Close()
+			}
+			return abort(err)
+		}
+	} else {
+		lf, err := checkpoint.CreateLogFile(s.cfg.FS, next)
+		if err != nil {
+			return abort(err)
+		}
+		if err := log.(*wal.Log).AttachMirrorFile(lf); err != nil {
+			lf.Close()
+			return abort(err)
+		}
 	}
 	if err := log.SyncMirror(); err != nil {
 		// A failed mirror write has already poisoned the WAL (appends
@@ -1229,7 +1504,7 @@ func (s *Store) checkpointBlocking() error {
 	// switch step; the old version is still current.
 	reopenOld := func(err error) error {
 		obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Err: err})
-		reopened, rerr := wal.Open(s.cfg.FS, cur.LogName(), nextSeq, s.walOpts())
+		reopened, rerr := s.openLog(cur.LogName(), nextSeq)
 		if rerr != nil {
 			s.poison(rerr)
 			return fmt.Errorf("core: checkpoint failed (%v) and old log could not be reopened: %w", err, rerr)
@@ -1260,9 +1535,20 @@ func (s *Store) checkpointBlocking() error {
 	ioTime := time.Since(prepStart) - pickleTime
 
 	switchStart := time.Now()
-	lf, err := checkpoint.CreateLogFile(s.cfg.FS, next)
-	if err == nil {
-		err = lf.Close()
+	if n := s.logShards(); n > 1 {
+		var files []vfs.File
+		files, err = checkpoint.CreateShardLogFiles(s.cfg.FS, next, n)
+		for _, f := range files {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	} else {
+		var lf vfs.File
+		lf, err = checkpoint.CreateLogFile(s.cfg.FS, next)
+		if err == nil {
+			err = lf.Close()
+		}
 	}
 	if err == nil {
 		err = checkpoint.CommitNewVersion(s.cfg.FS, next)
@@ -1285,7 +1571,7 @@ func (s *Store) checkpointBlocking() error {
 	checkpoint.ObserveSwitch(s.cpOpts(), cpStart)
 	switchTime := time.Since(switchStart)
 
-	newLog, err := wal.Open(s.cfg.FS, newState.LogName(), nextSeq, s.walOpts())
+	newLog, err := s.openLog(newState.LogName(), nextSeq)
 	if err != nil {
 		s.poison(err)
 		return err
@@ -1447,7 +1733,7 @@ func (s *Store) History(fn func(seq uint64, u Update) error) error {
 
 	expect := uint64(0)
 	for _, name := range files {
-		first, ok, err := wal.FirstSeq(s.cfg.FS, name)
+		first, ok, err := wal.FirstSeqSharded(s.cfg.FS, name)
 		if err != nil {
 			return err
 		}
@@ -1457,13 +1743,19 @@ func (s *Store) History(fn func(seq uint64, u Update) error) error {
 		if expect != 0 && first != expect {
 			return fmt.Errorf("core: audit trail gap: %s starts at sequence %d, expected %d", name, first, expect)
 		}
-		res, err := wal.Replay(s.cfg.FS, name, first, wal.ReplayOptions{SkipDamaged: s.cfg.SkipDamagedLogEntries}, func(seq uint64, payload []byte) error {
-			var rec logRecord
-			if err := pickle.Unmarshal(payload, &rec); err != nil {
-				return fmt.Errorf("core: audit entry %d undecodable: %w", seq, err)
-			}
-			return fn(seq, rec.U)
-		})
+		res, err := wal.ReplayShardedPipelined(s.cfg.FS, name, first,
+			wal.ReplayOptions{SkipDamaged: s.cfg.SkipDamagedLogEntries}, s.replayWorkers(),
+			func(seq uint64, payload []byte) (any, error) {
+				var rec logRecord
+				if err := pickle.Unmarshal(payload, &rec); err != nil {
+					return nil, fmt.Errorf("core: audit entry %d undecodable: %w", seq, err)
+				}
+				return rec.U, nil
+			},
+			func(seq uint64, v any) error {
+				u, _ := v.(Update)
+				return fn(seq, u)
+			})
 		if err != nil {
 			return err
 		}
@@ -1538,4 +1830,25 @@ func (s *Store) Close() error {
 // walOpts derives the log options from the config.
 func (s *Store) walOpts() wal.Options {
 	return wal.Options{NoSync: s.cfg.UnsafeNoSync, Obs: s.cfg.Obs, Tracer: s.cfg.Tracer}
+}
+
+// logShards normalizes Config.LogShards: 0 and 1 both mean the paper's
+// single stream.
+func (s *Store) logShards() int {
+	if s.cfg.LogShards > 1 {
+		return s.cfg.LogShards
+	}
+	return 1
+}
+
+// openLog opens the store's redo log rooted at base — a plain single-stream
+// wal.Log, or a wal.Sharded ticket-and-streams log when Config.LogShards
+// asks for one. Both satisfy storeLog; the rest of the store branches only
+// where the on-disk layout differs (checkpoint mirror attach, recovery).
+func (s *Store) openLog(base string, nextSeq uint64) (storeLog, error) {
+	if n := s.logShards(); n > 1 {
+		return wal.OpenSharded(s.cfg.FS, base, n, nextSeq,
+			wal.ShardedOptions{Options: s.walOpts(), SequentialSync: s.cfg.SerialLogSync})
+	}
+	return wal.Open(s.cfg.FS, base, nextSeq, s.walOpts())
 }

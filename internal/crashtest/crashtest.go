@@ -73,6 +73,20 @@ type Config struct {
 	// (0 = auto, 1 = sequential), so the sweep can torture pipelined
 	// restart at every crash point.
 	ReplayWorkers int
+	// LogShards splits the store's redo log into this many parallel
+	// streams (0 or 1 = the paper's single stream). Sharded runs force
+	// SerialLogSync, so each epoch seal syncs its streams one at a time in
+	// stream order and the sweep's fs-op indexing stays deterministic —
+	// crash points then land inside individual stream syncs and, with
+	// Batch, between the streams of one epoch.
+	LogShards int
+	// Batch groups every Batch consecutive workload updates into one
+	// ApplyBatch call: one epoch barrier spanning several streams, so the
+	// sweep covers crashes after some streams of an epoch synced but
+	// before the rest. 0 or 1 applies updates one at a time. Checkpoint
+	// cadence is rounded up to a batch multiple so the schedule still
+	// fires.
+	Batch int
 	// Readers runs this many concurrent snapshot readers alongside every
 	// workload — the reference run, each crash replay, and the post-crash
 	// catch-up — each continuously validating that a pinned snapshot at
@@ -134,9 +148,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 1
+	}
 	cpEvery := cfg.CheckpointEvery
 	if cpEvery == 0 {
 		cpEvery = cfg.Ops/4 + 1
+	}
+	if cpEvery > 0 && cfg.Batch > 1 {
+		// The loop checkpoints when the update index is a cpEvery
+		// multiple; batched indices advance Batch at a time, so align the
+		// cadence or it might never fire.
+		cpEvery = ((cpEvery + cfg.Batch - 1) / cfg.Batch) * cfg.Batch
 	}
 	r := &runner{cfg: cfg, cpEvery: cpEvery, plan: makePlan(cfg.Seed, cfg.Ops)}
 
@@ -388,16 +411,24 @@ func openFlight(fs vfs.FS) (*obs.FlightRecorder, error) {
 	return obs.OpenFlight(obs.FlightConfig{FS: fs, Name: flightName, FlushEvery: 0})
 }
 
-// maxCommitSeq scans a decoded flight tail for the newest update.commit
-// sequence; 0 means no commit event survived.
+// maxCommitSeq scans a decoded flight tail for the newest committed
+// sequence — per-update "update.commit" events or batched "update.batch"
+// events (which carry the batch's last sequence); 0 means no commit event
+// survived.
 func maxCommitSeq(events []obs.Event) int {
 	max := 0
 	for _, e := range events {
-		if e.Name != "update.commit" {
+		var key string
+		switch e.Name {
+		case "update.commit":
+			key = "seq"
+		case "update.batch":
+			key = "last_seq"
+		default:
 			continue
 		}
 		for _, a := range e.Attrs {
-			if a.Key != "seq" {
+			if a.Key != key {
 				continue
 			}
 			if v, err := strconv.Atoi(fmt.Sprint(a.Value)); err == nil && v > max {
@@ -430,7 +461,10 @@ func (r *runner) checkFlight(n int64, fs vfs.FS, acked, attempted int) []Violati
 		return []Violation{r.violation(n, "flight: empty tail after crash with %d acked updates", acked)}
 	}
 	max := maxCommitSeq(events)
-	if max < acked-1 {
+	// With batching the whole batch shares one event, so the crash landing
+	// on that event's own ring write can leave the newest surviving event a
+	// full batch behind the acknowledged frontier.
+	if max < acked-r.cfg.Batch {
 		return []Violation{r.violation(n, "flight: newest commit event is seq %d but %d updates were acknowledged", max, acked)}
 	}
 	if max > attempted {
@@ -450,7 +484,8 @@ func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64
 		return err // in a torture replay, the crash landed on the ring setup
 	}
 	defer fl.Close()
-	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers, Tracer: fl})
+	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers,
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1, Tracer: fl})
 	if err != nil {
 		return err
 	}
@@ -458,16 +493,30 @@ func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64
 	rc.launch(st, storeTree)
 	k := 0
 	doOne := func() error {
-		if rec != nil {
-			rec.start(opCount())
+		end := k + r.cfg.Batch
+		if end > len(r.plan.updates) {
+			end = len(r.plan.updates)
 		}
-		if err := st.Apply(r.plan.updates[k]); err != nil {
+		if rec != nil {
+			for j := k; j < end; j++ {
+				rec.start(opCount())
+			}
+		}
+		var err error
+		if end == k+1 {
+			err = st.Apply(r.plan.updates[k])
+		} else {
+			err = st.ApplyBatch(r.plan.updates[k:end])
+		}
+		if err != nil {
 			return err
 		}
 		if rec != nil {
-			rec.ack(opCount())
+			for j := k; j < end; j++ {
+				rec.ack(opCount())
+			}
 		}
-		k++
+		k = end
 		return nil
 	}
 	checkpoint := srv.Checkpoint
@@ -498,7 +547,8 @@ func (r *runner) storePoint(n int64) (out []Violation) {
 		out = append(out, r.violation(n, "concurrent reader: %s", msg))
 	}
 
-	srv, err := nameserver.Open(nameserver.Config{FS: snap, ReplayWorkers: r.cfg.ReplayWorkers})
+	srv, err := nameserver.Open(nameserver.Config{FS: snap, ReplayWorkers: r.cfg.ReplayWorkers,
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1})
 	if err != nil {
 		return append(out, r.violation(n, "recovery failed: %v", err))
 	}
@@ -616,7 +666,8 @@ func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount f
 		return err // in a torture replay, the crash landed on the ring setup
 	}
 	defer fl.Close()
-	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers, Tracer: fl})
+	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers,
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1, Tracer: fl})
 	if err != nil {
 		return err
 	}
@@ -624,16 +675,30 @@ func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount f
 	rc.launch(node.Store(), replicaTree)
 	k := 0
 	doOne := func() error {
-		if rec != nil {
-			rec.start(opCount())
+		end := k + r.cfg.Batch
+		if end > len(r.plan.updates) {
+			end = len(r.plan.updates)
 		}
-		if err := node.Apply(r.plan.updates[k]); err != nil {
+		if rec != nil {
+			for j := k; j < end; j++ {
+				rec.start(opCount())
+			}
+		}
+		var err error
+		if end == k+1 {
+			err = node.Apply(r.plan.updates[k])
+		} else {
+			err = node.ApplyBatch(r.plan.updates[k:end])
+		}
+		if err != nil {
 			return err
 		}
 		if rec != nil {
-			rec.ack(opCount())
+			for j := k; j < end; j++ {
+				rec.ack(opCount())
+			}
 		}
-		k++
+		k = end
 		return nil
 	}
 	checkpoint := node.Checkpoint
@@ -671,7 +736,8 @@ func (r *runner) replicaPoint(n int64) (out []Violation) {
 		out = append(out, r.violation(n, "concurrent reader: %s", msg))
 	}
 
-	node, err := replica.Open(replica.Config{Name: "a", FS: snap, ReplayWorkers: r.cfg.ReplayWorkers})
+	node, err := replica.Open(replica.Config{Name: "a", FS: snap, ReplayWorkers: r.cfg.ReplayWorkers,
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1})
 	if err != nil {
 		return append(out, r.violation(n, "recovery failed: %v", err))
 	}

@@ -28,6 +28,13 @@ type Config struct {
 	// ReplayWorkers passes through to the store's restart decode
 	// pipeline (0 = auto, 1 = sequential).
 	ReplayWorkers int
+	// LogShards passes through: >1 splits the redo log into that many
+	// parallel streams under epoch-based group commit (incompatible with
+	// SkipDamagedLogEntries).
+	LogShards int
+	// SerialLogSync passes through: sharded epoch seals sync their streams
+	// one at a time, in stream order (the crash-sweep determinism knob).
+	SerialLogSync bool
 	// BlockingCheckpoint passes through: checkpoints hold the update
 	// lock for their whole duration instead of the default
 	// mirror-window protocol.
@@ -60,6 +67,8 @@ func Open(cfg Config) (*Server, error) {
 		MaxLogEntries:         cfg.MaxLogEntries,
 		SkipDamagedLogEntries: cfg.SkipDamagedLogEntries,
 		ReplayWorkers:         cfg.ReplayWorkers,
+		LogShards:             cfg.LogShards,
+		SerialLogSync:         cfg.SerialLogSync,
 		BlockingCheckpoint:    cfg.BlockingCheckpoint,
 		LockedEnquiries:       cfg.LockedEnquiries,
 		Obs:                   cfg.Obs,

@@ -36,6 +36,12 @@ type Config struct {
 	// ReplayWorkers passes through to the store's restart decode
 	// pipeline (0 = auto, 1 = sequential).
 	ReplayWorkers int
+	// LogShards passes through: >1 splits the node's redo log into that
+	// many parallel streams under epoch-based group commit.
+	LogShards int
+	// SerialLogSync passes through: sharded epoch seals sync their streams
+	// one at a time, in stream order (the crash-sweep determinism knob).
+	SerialLogSync bool
 	// BlockingCheckpoint passes through: checkpoints hold the update
 	// lock for their whole duration instead of the default
 	// mirror-window protocol.
@@ -118,6 +124,8 @@ func Open(cfg Config) (*Node, error) {
 		MaxLogEntries:      cfg.MaxLogEntries,
 		UnsafeNoSync:       cfg.UnsafeNoSync,
 		ReplayWorkers:      cfg.ReplayWorkers,
+		LogShards:          cfg.LogShards,
+		SerialLogSync:      cfg.SerialLogSync,
 		BlockingCheckpoint: cfg.BlockingCheckpoint,
 		LockedEnquiries:    cfg.LockedEnquiries,
 		Obs:                cfg.Obs,
@@ -233,6 +241,83 @@ func (n *Node) ApplyTraced(inner core.Update, sc obs.SpanContext) error {
 		}
 	}
 	return nil
+}
+
+// ApplyBatch commits a batch of local updates through one store batch —
+// one epoch barrier on a sharded log — stamping each with consecutive
+// local sequence numbers, then pushes the whole batch to every peer in a
+// single RPC. Prefix semantics follow core.Store.ApplyBatch: on error the
+// already-verified prefix is committed (and pushed) and the error returned.
+func (n *Node) ApplyBatch(inners []core.Update) error {
+	if len(inners) == 0 {
+		return nil
+	}
+	n.mu.Lock()
+	var seq, stamp uint64
+	err := n.store.View(func(root any) error {
+		r, err := rootOf(root)
+		if err != nil {
+			return err
+		}
+		seq = r.Vector[n.name]
+		stamp = r.Clock
+		return nil
+	})
+	if err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	us := make([]core.Update, len(inners))
+	entries := make([]Entry, len(inners))
+	for i, inner := range inners {
+		us[i] = &Replicated{Origin: n.name, Seq: seq + uint64(i) + 1, Stamp: stamp + uint64(i) + 1, Inner: inner}
+		entries[i] = Entry{Origin: n.name, Seq: seq + uint64(i) + 1, Stamp: stamp + uint64(i) + 1, Inner: inner}
+	}
+	batchErr := n.store.ApplyBatch(us)
+	committedN := len(entries)
+	if batchErr != nil {
+		// Only the applied prefix may be pushed; anti-entropy would
+		// otherwise resurrect updates this node never committed.
+		committedN = int(mustVectorSeq(n.store, n.name) - seq)
+		if committedN < 0 {
+			committedN = 0
+		}
+	}
+	peers := make([]*rpc.Client, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	if committedN > 0 {
+		committed := time.Now()
+		for _, p := range peers {
+			var reply PushReply
+			perr := p.CallRetry("Replica.Push", &PushArgs{Entries: entries[:committedN]}, &reply, n.pushPolicy)
+			n.m.pushes.Inc()
+			if perr != nil {
+				n.m.pushErrors.Inc()
+			} else {
+				n.m.pushLag.ObserveSince(committed)
+			}
+			obs.Emit(n.tracer, obs.Event{Name: "replica.push", Dur: time.Since(committed), Err: perr, Attrs: []obs.Attr{
+				obs.A("origin", n.name), obs.A("seq", seq+uint64(committedN)), obs.A("batch", committedN),
+			}})
+		}
+	}
+	return batchErr
+}
+
+// mustVectorSeq reads the node's own vector entry, 0 on any error (the
+// caller is already on an error path).
+func mustVectorSeq(st *core.Store, name string) uint64 {
+	var v uint64
+	_ = st.View(func(root any) error {
+		if r, err := rootOf(root); err == nil {
+			v = r.Vector[name]
+		}
+		return nil
+	})
+	return v
 }
 
 // Set, Delete and Lookup are name-tree conveniences over Apply/View.

@@ -225,7 +225,53 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error) {
 		return 0, func() error { return err }
 	}
 	seq := l.nextSeq
-	l.nextSeq++
+	l.appendSeqLocked(seq, payload)
+	return seq, func() error { return l.waitDurable(seq) }
+}
+
+// AppendSeqAsync enqueues one entry under a caller-assigned sequence
+// number, at least the log's next one. It exists for logs that are one
+// stream of a Sharded log: the global ticket hands out sequences across
+// streams, so within any single stream they are strictly increasing but
+// not dense. The log's own numbering continues from seq+1; the returned
+// wait function blocks until this stream has synced the entry (the epoch
+// barrier normally waits for all streams instead).
+func (l *Log) AppendSeqAsync(seq uint64, payload []byte) func() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return func() error { return ErrClosed }
+	}
+	if l.err != nil {
+		err := l.err
+		return func() error { return err }
+	}
+	if seq < l.nextSeq {
+		err := fmt.Errorf("wal: AppendSeqAsync sequence %d below next sequence %d", seq, l.nextSeq)
+		return func() error { return err }
+	}
+	l.appendSeqLocked(seq, payload)
+	return func() error { return l.waitDurable(seq) }
+}
+
+// enqueueSeq is AppendSeqAsync without the wait closure: the Sharded
+// append path's epoch barrier is the wait, so building a per-stream
+// closure would be a wasted allocation on the hot path. A closed or
+// poisoned stream drops the frame; the epoch seal's Flush surfaces the
+// same error to every waiter, so acked ⇒ durable still holds.
+func (l *Log) enqueueSeq(seq uint64, payload []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.err != nil || seq < l.nextSeq {
+		return
+	}
+	l.appendSeqLocked(seq, payload)
+}
+
+// appendSeqLocked frames one entry at sequence seq into the pending buffer.
+// Called with l.mu held on an open, healthy log; seq must be >= l.nextSeq.
+func (l *Log) appendSeqLocked(seq uint64, payload []byte) {
+	l.nextSeq = seq + 1
 	was := len(l.pending)
 	l.pending = appendFrame(l.pending, seq, payload)
 	frameLen := len(l.pending) - was
@@ -238,7 +284,6 @@ func (l *Log) AppendAsync(payload []byte) (uint64, func() error) {
 	l.size += int64(frameLen)
 	l.m.appends.Inc()
 	l.m.appendBytes.Add(uint64(frameLen))
-	return seq, func() error { return l.waitDurable(seq) }
 }
 
 // waitDurable blocks until seq is durable. If no flush is in progress it
@@ -392,6 +437,14 @@ func (l *Log) Flush() error {
 	l.syncing = false
 	l.cond.Broadcast()
 	return err
+}
+
+// hasPending reports whether unflushed frames are enqueued. The Sharded
+// epoch seal uses it to pick which streams need a sync this epoch.
+func (l *Log) hasPending() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending) > 0
 }
 
 // MirrorActive reports whether a mirror window is open — i.e. a
@@ -584,6 +637,12 @@ type ReplayOptions struct {
 	// Repair truncates the log file in place after a torn tail entry is
 	// detected, so a subsequent Open appends from the last good entry.
 	Repair bool
+	// Monotonic relaxes the dense-sequence check to strictly-increasing:
+	// the log is one stream of a Sharded log, carrying only the global
+	// sequences that hashed to it. The first entry must still be >=
+	// firstSeq. Cross-stream gap detection is the merge's job
+	// (ReplayShardedPipelined), not the stream's.
+	Monotonic bool
 	// Obs, when non-nil, receives the wal_torn_tails and
 	// wal_damaged_entries recovery counters.
 	Obs *obs.Registry
@@ -632,10 +691,16 @@ func Replay(fs vfs.FS, name string, firstSeq uint64, opts ReplayOptions, fn func
 		seq, payload, n, rerr := readEntry(f, off, size)
 		switch {
 		case rerr == nil:
-			if seq != expect {
-				// A sequence discontinuity with a valid CRC
-				// means the file is not the log we think it
-				// is; fail loudly.
+			// A sequence discontinuity with a valid CRC means the file
+			// is not the log we think it is; fail loudly. A shard
+			// stream (Monotonic) holds only the global sequences that
+			// hashed to it, so there only a regression is a
+			// discontinuity — cross-stream gaps are the merge's job.
+			if opts.Monotonic && seq < expect {
+				f.Close()
+				return res, fmt.Errorf("wal: %s: entry at offset %d has sequence %d, want >= %d", name, entryStart, seq, expect)
+			}
+			if !opts.Monotonic && seq != expect {
 				f.Close()
 				return res, fmt.Errorf("wal: %s: entry at offset %d has sequence %d, want %d", name, entryStart, seq, expect)
 			}
@@ -666,7 +731,11 @@ func Replay(fs vfs.FS, name string, firstSeq uint64, opts ReplayOptions, fn func
 			res.Damaged++
 			off += n
 			res.GoodSize = off
-			expect++
+			if opts.Monotonic && seq >= expect {
+				expect = seq + 1
+			} else if !opts.Monotonic {
+				expect++
+			}
 			res.NextSeq = expect
 		case errors.Is(rerr, errTorn):
 			// Partial tail entry: the crash happened during this
