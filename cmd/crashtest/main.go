@@ -48,6 +48,8 @@ func main() {
 		readers   = flag.Int("readers", 0, "concurrent snapshot readers validating lock-free enquiries against the oracle during every workload and catch-up")
 		logShards = flag.Int("log-shards", 0, "split the redo log into this many parallel streams (0/1 = single stream); seals sync serially so the sweep stays deterministic")
 		batch     = flag.Int("batch", 0, "group every k workload updates into one ApplyBatch — one epoch spanning several streams (0/1 = one update at a time)")
+		fullCP    = flag.Bool("full-checkpoints", false, "write every checkpoint in full instead of the default incremental delta chain (the ablation sweep)")
+		deltaCh   = flag.Int("delta-chain", 0, "compact the delta chain after this many deltas (0 = store default); small values put compactions inside the sweep")
 		verbose   = flag.Bool("v", false, "log progress")
 
 		net      = flag.Bool("net", false, "run the partition sweep instead of the crash-point sweep")
@@ -78,6 +80,8 @@ func main() {
 			Readers:            *readers,
 			LogShards:          *logShards,
 			Batch:              *batch,
+			FullCheckpoints:    *fullCP,
+			MaxDeltaChain:      *deltaCh,
 		}
 		if *verbose {
 			cfg.Logf = log.Printf
@@ -107,6 +111,12 @@ func main() {
 		}
 		if *batch > 1 {
 			extra += fmt.Sprintf(" -batch %d", *batch)
+		}
+		if *fullCP {
+			extra += " -full-checkpoints"
+		}
+		if *deltaCh > 0 {
+			extra += fmt.Sprintf(" -delta-chain %d", *deltaCh)
 		}
 		for _, v := range res.Violations {
 			fmt.Printf("VIOLATION %s\n", v)

@@ -9,7 +9,7 @@
 //
 //	logdump -dir /var/lib/nsd               # summarize the directory
 //	logdump -dir /var/lib/nsd -log 3        # dump logfile3's entries
-//	logdump -dir /var/lib/nsd -checkpoint 3 # dump checkpoint3's contents
+//	logdump -dir /var/lib/nsd -checkpoint 3 # dump checkpoint 3's delta chain and contents
 //	logdump -dir /var/lib/nsd -stats        # payload-size histograms per log
 //	logdump -dir /var/lib/nsd -stats -log 3 # histogram for one log file
 //	logdump -dir /var/lib/nsd -flight       # decode the flight-recorder ring
@@ -34,7 +34,7 @@ func main() {
 		dir    = flag.String("dir", "", "database directory (required)")
 		logV   = flag.Uint64("log", 0, "dump the entries of logfile<N>, merging its streams by global sequence when the log is sharded")
 		archV  = flag.Uint64("archive", 0, "dump the entries of archive-logfile<N> (§4 audit trail)")
-		cpV    = flag.Uint64("checkpoint", 0, "dump the contents of checkpoint<N>")
+		cpV    = flag.Uint64("checkpoint", 0, "dump checkpoint<N>'s chain (full base + deltas, header by header) and its own contents")
 		stream = flag.Int("stream", -1, "with -log/-archive: dump only stream <i> of a sharded log instead of the merge (0 = the base file)")
 		maxLen = flag.Int("max", 0, "dump at most this many log entries (0 = all)")
 		stats  = flag.Bool("stats", false, "print entry-count, byte and payload-size histogram summaries instead of entries")
@@ -365,18 +365,94 @@ func dumpFlight(fs vfs.FS) {
 	}
 }
 
+// dumpCheckpoint renders version v's checkpoint chain — the full base plus
+// every delta recovery applies on top of it, header by header — then the
+// decoded contents of version v's own file. A broken chain (a missing or
+// unreadable link) reports which link broke instead of dying mid-decode.
 func dumpCheckpoint(fs vfs.FS, v uint64) {
-	name := checkpoint.CheckpointName(v)
-	f, err := fs.Open(name)
+	chain, err := checkpoint.ChainOf(fs, v)
 	if err != nil {
 		fatal("%v", err)
 	}
-	defer f.Close()
-	val, err := pickle.NewDecoder(f).DecodeAny()
+	if len(chain) == 1 {
+		fmt.Printf("checkpoint %d: full image\n", v)
+	} else {
+		fmt.Printf("checkpoint %d: chain of %d files (full base %d + %d deltas)\n",
+			v, len(chain), chain[0], len(chain)-1)
+	}
+	var prevNext uint64
+	for i, cv := range chain {
+		name := checkpoint.CheckpointName(cv)
+		if i > 0 {
+			name = checkpoint.DeltaName(cv)
+		}
+		size, serr := fs.Stat(name)
+		if serr != nil {
+			fatal("chain link %s: %v", name, serr)
+		}
+		hdr, derr := decodeFile(fs, name)
+		if derr != nil {
+			fatal("chain link %s (%d bytes): undecodable: %v", name, size, derr)
+		}
+		if i == 0 {
+			fmt.Printf("  %-18s %9d bytes  full base, next-seq %s\n",
+				name, size, fieldOf(hdr, "NextSeq"))
+		} else {
+			note := ""
+			if from, ok := fieldUint(hdr, "FromSeq"); ok && prevNext != 0 && from != prevNext {
+				note = fmt.Sprintf("  (DISCONTINUOUS: parent ends at seq %d)", prevNext)
+			}
+			fmt.Printf("  %-18s %9d bytes  delta, parent %s, seqs %s..%s, %s subtree ops%s\n",
+				name, size, fieldOf(hdr, "Parent"), fieldOf(hdr, "FromSeq"),
+				fieldOf(hdr, "NextSeq"), fieldOf(hdr, "Subtrees"), note)
+		}
+		if n, ok := fieldUint(hdr, "NextSeq"); ok {
+			prevNext = n
+		}
+	}
+	name := checkpoint.CheckpointName(v)
+	if len(chain) > 1 {
+		name = checkpoint.DeltaName(v)
+	}
+	val, err := decodeFile(fs, name)
 	if err != nil {
 		fatal("decoding %s: %v", name, err)
 	}
 	fmt.Printf("%s:\n%s\n", name, pickle.Format(val))
+}
+
+// decodeFile generically decodes the single pickled value in a file.
+func decodeFile(fs vfs.FS, name string) (any, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return pickle.NewDecoder(f).DecodeAny()
+}
+
+// fieldOf renders one named field of a generically decoded struct, "?" when
+// the file's header doesn't carry it.
+func fieldOf(v any, field string) string {
+	if p, ok := v.(*any); ok {
+		v = *p // checkpoint headers pickle as pointers
+	}
+	s, ok := v.(pickle.GenericStruct)
+	if !ok {
+		return "?"
+	}
+	for _, f := range s.Fields {
+		if f.Name == field {
+			return fmt.Sprint(f.Value)
+		}
+	}
+	return "?"
+}
+
+// fieldUint extracts a named integer field of a generically decoded struct.
+func fieldUint(v any, field string) (uint64, bool) {
+	n, err := strconv.ParseUint(fieldOf(v, field), 10, 64)
+	return n, err == nil
 }
 
 func fatal(format string, args ...any) {

@@ -241,7 +241,11 @@ func summarize(ds []time.Duration) latJSON {
 func checkpointStallMode(blocking bool, seed int64, rootEntries, valBytes int, bps int64) (map[string]any, error) {
 	reg := obs.NewRegistry()
 	slow := vfs.NewSlow(vfs.NewMem(seed))
-	ns, err := nameserver.Open(nameserver.Config{FS: slow, Obs: reg, Retain: 1, BlockingCheckpoint: blocking})
+	// FullCheckpoints: the stall being measured is a whole large root
+	// dragged through the slow disk; an incremental delta of the few
+	// steady-state updates would finish before the spin below ever saw it
+	// in flight.
+	ns, err := nameserver.Open(nameserver.Config{FS: slow, Obs: reg, Retain: 1, BlockingCheckpoint: blocking, FullCheckpoints: true})
 	if err != nil {
 		return nil, err
 	}
@@ -277,34 +281,42 @@ func checkpointStallMode(blocking bool, seed int64, rootEntries, valBytes int, b
 	// updates squeezed in before its goroutine is scheduled would dilute
 	// the blocking mode's percentiles with unblocked samples.
 	inflight := reg.Gauge("core_checkpoint_inflight")
-	for inflight.Value() == 0 {
-		runtime.Gosched()
+	var cpErr error
+	finished := false
+	for inflight.Value() == 0 && !finished {
+		select {
+		case cpErr = <-cpDone:
+			finished = true // too quick to overlap; "during" stays empty
+		default:
+			runtime.Gosched()
+		}
 	}
 	var during []time.Duration
-	for i := 0; ; i++ {
+	for i := 0; !finished; i++ {
 		select {
-		case err := <-cpDone:
-			if err != nil {
+		case cpErr = <-cpDone:
+			finished = true
+		default:
+			t0 := time.Now()
+			if err := ns.Set(fmt.Sprintf("during/e%d", i), "v"); err != nil {
 				return nil, err
 			}
-			cpElapsed := time.Since(cpStart)
-			st := ns.Stats()
-			return map[string]any{
-				"blocking":         blocking,
-				"checkpoint_ns":    cpElapsed.Nanoseconds(),
-				"steady":           summarize(steady),
-				"during":           summarize(during),
-				"lock_stall_ns":    st.CheckpointStallTime.Nanoseconds(),
-				"mirrored_entries": reg.Counter("checkpoint_mirrored_entries").Value(),
-			}, nil
-		default:
+			during = append(during, time.Since(t0))
 		}
-		t0 := time.Now()
-		if err := ns.Set(fmt.Sprintf("during/e%d", i), "v"); err != nil {
-			return nil, err
-		}
-		during = append(during, time.Since(t0))
 	}
+	if cpErr != nil {
+		return nil, cpErr
+	}
+	cpElapsed := time.Since(cpStart)
+	st := ns.Stats()
+	return map[string]any{
+		"blocking":         blocking,
+		"checkpoint_ns":    cpElapsed.Nanoseconds(),
+		"steady":           summarize(steady),
+		"during":           summarize(during),
+		"lock_stall_ns":    st.CheckpointStallTime.Nanoseconds(),
+		"mirrored_entries": reg.Counter("checkpoint_mirrored_entries").Value(),
+	}, nil
 }
 
 // checkpointStallJSON runs checkpointStallMode for the mirror-window
@@ -327,6 +339,130 @@ func checkpointStallJSON(seed int64, quick bool) (map[string]any, error) {
 		"disk_bytes_per_sec":  bps,
 		"nonblocking":         nonblocking,
 		"blocking_checkpoint": blocking,
+	}, nil
+}
+
+// cpScaleMode holds one (root size, checkpoint mode) measurement: the I/O
+// of a checkpoint taken after a fixed amount of churn, and the restart that
+// follows it. The restart decomposes into the base-image read — which grows
+// with root size in either mode, because the whole root must reach memory —
+// and the churn-proportional remainder (delta apply plus log replay). The
+// scaling claim is about the checkpoint bytes and that remainder.
+type cpScaleMode struct {
+	CheckpointWriteBytes int64 `json:"checkpoint_write_bytes"`
+	CheckpointFileBytes  int64 `json:"checkpoint_file_bytes"`
+	ChainLength          int   `json:"chain_length"`
+	RestartNS            int64 `json:"restart_ns"`
+	RestartReadBytes     int64 `json:"restart_read_bytes"`
+	RestartBaseNS        int64 `json:"restart_base_ns"`
+	RestartChurnNS       int64 `json:"restart_churn_ns"`
+	RestartDeltaBytes    int64 `json:"restart_delta_bytes"`
+	DeltasApplied        int   `json:"deltas_applied"`
+}
+
+// checkpointScalingMode builds a root of entries values, takes a full base
+// checkpoint, overwrites churn entries spread across the key space, and
+// measures the next checkpoint (a delta by default, a full image under the
+// FullCheckpoints ablation) plus the restart from the resulting disk state,
+// all through a counting fs so the bytes are what the disk saw.
+func checkpointScalingMode(seed int64, entries, churn, valBytes int, full bool) (cpScaleMode, error) {
+	cfs := vfs.NewCounting(vfs.NewMem(seed))
+	open := func() (*nameserver.Server, error) {
+		return nameserver.Open(nameserver.Config{FS: cfs, Retain: 1, FullCheckpoints: full})
+	}
+	name := func(i int) string { return fmt.Sprintf("cpscale/dir%d/e%d", i%127, i) }
+	ns, err := open()
+	if err != nil {
+		return cpScaleMode{}, err
+	}
+	val := strings.Repeat("x", valBytes)
+	fail := func(err error) (cpScaleMode, error) { ns.Close(); return cpScaleMode{}, err }
+	for i := 0; i < entries; i++ {
+		if err := ns.Set(name(i), val); err != nil {
+			return fail(err)
+		}
+	}
+	if err := ns.Checkpoint(); err != nil { // the full base image
+		return fail(err)
+	}
+	stride := entries / churn
+	for i := 0; i < churn; i++ {
+		if err := ns.Set(name(i*stride), val+"y"); err != nil {
+			return fail(err)
+		}
+	}
+	cfs.Reset()
+	if err := ns.Checkpoint(); err != nil { // the measured checkpoint
+		return fail(err)
+	}
+	m := cpScaleMode{CheckpointWriteBytes: cfs.WriteBytes()}
+	st := ns.Stats()
+	m.CheckpointFileBytes = st.LastCheckpointBytes
+	m.ChainLength = st.ChainLength
+	if err := ns.Close(); err != nil {
+		return cpScaleMode{}, err
+	}
+
+	cfs.Reset()
+	t0 := time.Now()
+	ns2, err := open()
+	if err != nil {
+		return cpScaleMode{}, err
+	}
+	m.RestartNS = time.Since(t0).Nanoseconds()
+	m.RestartReadBytes = cfs.ReadBytes()
+	rst := ns2.Stats()
+	m.RestartBaseNS = rst.RestartCheckpointTime.Nanoseconds()
+	m.RestartChurnNS = (rst.RestartDeltaTime + rst.RestartReplayTime).Nanoseconds()
+	m.RestartDeltaBytes = rst.RestartDeltaBytes
+	m.DeltasApplied = rst.RestartDeltasApplied
+	return m, ns2.Close()
+}
+
+// checkpointScalingJSON sweeps root sizes S, 2S, 4S at a fixed absolute
+// churn (10% of S) in both checkpoint modes. With incremental checkpoints
+// the delta's bytes and the restart's churn component should track the
+// churn — near-flat across the sweep — while the FullCheckpoints ablation's
+// bytes track the root and grow ~4×.
+func checkpointScalingJSON(seed int64, quick bool) (map[string]any, error) {
+	base, valBytes := 8192, 256
+	if quick {
+		base = 2048
+	}
+	churn := base / 10
+	sizes := []int{base, 2 * base, 4 * base}
+	var points []map[string]any
+	var deltas, fulls []cpScaleMode
+	for _, n := range sizes {
+		d, err := checkpointScalingMode(seed, n, churn, valBytes, false)
+		if err != nil {
+			return nil, err
+		}
+		f, err := checkpointScalingMode(seed, n, churn, valBytes, true)
+		if err != nil {
+			return nil, err
+		}
+		deltas, fulls = append(deltas, d), append(fulls, f)
+		points = append(points, map[string]any{"entries": n, "delta": d, "full": f})
+	}
+	ratio := func(a, b int64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return float64(a) / float64(b)
+	}
+	return map[string]any{
+		"churn_entries": churn,
+		"value_bytes":   valBytes,
+		"sizes":         sizes,
+		"points":        points,
+		// The CI gate's summary numbers: delta-vs-full bytes at the size
+		// where churn is 10% of the root, and the 4x growth factors.
+		"delta_vs_full_bytes_at_10pct":  ratio(deltas[0].CheckpointWriteBytes, fulls[0].CheckpointWriteBytes),
+		"delta_bytes_growth_4x":         ratio(deltas[2].CheckpointWriteBytes, deltas[0].CheckpointWriteBytes),
+		"full_bytes_growth_4x":          ratio(fulls[2].CheckpointWriteBytes, fulls[0].CheckpointWriteBytes),
+		"restart_delta_bytes_growth_4x": ratio(deltas[2].RestartDeltaBytes, deltas[0].RestartDeltaBytes),
+		"restart_churn_ns_growth_4x":    ratio(deltas[2].RestartChurnNS, deltas[0].RestartChurnNS),
 	}, nil
 }
 
@@ -761,7 +897,8 @@ func writeScalingJSON(seed int64, quick bool) (map[string]any, error) {
 // resulting snapshot.
 func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 	reg := obs.NewRegistry()
-	ns, err := nameserver.Open(nameserver.Config{FS: vfs.NewMem(seed), Obs: reg})
+	cfs := vfs.NewCounting(vfs.NewMem(seed))
+	ns, err := nameserver.Open(nameserver.Config{FS: cfs, Obs: reg})
 	if err != nil {
 		return err
 	}
@@ -778,9 +915,11 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 			return err
 		}
 	}
+	cfs.Reset() // isolate the checkpoint's own I/O from the workload's
 	if err := ns.Checkpoint(); err != nil {
 		return err
 	}
+	cpWriteBytes := cfs.WriteBytes()
 	elapsed := time.Since(start)
 	st := ns.Stats()
 
@@ -808,10 +947,22 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 	if err != nil {
 		return err
 	}
+	cpScaling, err := checkpointScalingJSON(seed, quick)
+	if err != nil {
+		return err
+	}
 
 	out := map[string]any{
-		"schema":     "smalldb-bench-metrics/v1",
-		"ops":        map[string]uint64{"updates": st.Updates, "enquiries": st.Enquiries, "checkpoints": st.Checkpoints},
+		"schema": "smalldb-bench-metrics/v1",
+		"ops": map[string]uint64{"updates": st.Updates, "enquiries": st.Enquiries, "checkpoints": st.Checkpoints,
+			"delta_checkpoints": st.DeltaCheckpoints, "compactions": st.Compactions},
+		"checkpoint_bytes": map[string]int64{
+			// What the last checkpoint of the metrics workload cost the
+			// disk (fs write counter) and the pickled file size itself.
+			"write_bytes": cpWriteBytes,
+			"file_bytes":  st.LastCheckpointBytes,
+			"chain_len":   int64(st.ChainLength),
+		},
 		"elapsed_ns": elapsed.Nanoseconds(),
 		"phases": map[string]phaseJSON{
 			"verify":            phase(st.VerifyDist),
@@ -823,6 +974,7 @@ func writeMetricsJSON(path string, ops int, seed int64, quick bool) error {
 			"checkpoint_switch": phase(st.CheckpointSwitchDist),
 		},
 		"checkpoint_stall":   stall,
+		"checkpoint_scaling": cpScaling,
 		"micro":              micros,
 		"network_resilience": netres,
 		"tracing_overhead":   traceOv,

@@ -20,6 +20,19 @@
 // For hard-error recovery (§4), Switch can retain the previous checkpoint
 // and log instead of deleting them: "Recovery from a hard error in the
 // checkpoint could be achieved by keeping one previous checkpoint and log."
+//
+// # Delta chains
+//
+// The protocol is extended beyond the paper with chained incremental
+// checkpoints: a switch may write checkpoint<v>.d — a delta against
+// version v-1's state — instead of a full image checkpoint<v>. The commit
+// point and the version files are unchanged; only the shape of the
+// checkpoint data differs. Recovery then reads a *chain*: the newest full
+// image at or below the current version (the chain's base) followed by
+// every delta above it, in version order. Retention is generalized
+// accordingly — a checkpoint file is kept as long as the chain of the
+// current version or of any retained version still references it, so a
+// base can outlive its own retention window while deltas stand on it.
 package checkpoint
 
 import (
@@ -49,8 +62,25 @@ const (
 // database at all.
 var ErrNotInitialized = errors.New("checkpoint: no database in directory")
 
-// CheckpointName returns the checkpoint file name for a version.
+// CheckpointName returns the full-image checkpoint file name for a version.
 func CheckpointName(v uint64) string { return checkpointPrefix + strconv.FormatUint(v, 10) }
+
+// DeltaName returns the delta checkpoint file name for a version: the
+// incremental checkpoint whose contents transform version v-1's state into
+// version v's. A version has either a full image or a delta, never both.
+func DeltaName(v uint64) string { return CheckpointName(v) + deltaSuffix }
+
+const deltaSuffix = ".d"
+
+// parseCheckpointName recognizes checkpoint<v> and checkpoint<v>.d.
+func parseCheckpointName(name string) (v uint64, delta bool, ok bool) {
+	if rest, found := strings.CutSuffix(name, deltaSuffix); found {
+		v, ok = parseNumbered(rest, checkpointPrefix)
+		return v, true, ok
+	}
+	v, ok = parseNumbered(name, checkpointPrefix)
+	return v, false, ok
+}
 
 // LogName returns the log file name for a version.
 func LogName(v uint64) string { return logPrefix + strconv.FormatUint(v, 10) }
@@ -95,8 +125,15 @@ func ArchivedLogs(fs vfs.FS) ([]uint64, error) {
 type State struct {
 	// Version is the current version number.
 	Version uint64
-	// Retained lists older versions whose checkpoint+log pairs are kept
-	// for hard-error recovery, ascending.
+	// Base is the full checkpoint the current version's delta chain
+	// stands on: Version itself when the current checkpoint is a full
+	// image, otherwise the newest version at or below Version whose
+	// checkpoint file is full. Recovery reads CheckpointName(Base) and
+	// applies DeltaName(w) for each w in Base+1..Version.
+	Base uint64
+	// Retained lists older versions whose state is still recoverable
+	// (their chain and log files are kept) for hard-error recovery,
+	// ascending.
 	Retained []uint64
 }
 
@@ -105,6 +142,16 @@ func (s State) CheckpointName() string { return CheckpointName(s.Version) }
 
 // LogName returns the current log's file name.
 func (s State) LogName() string { return LogName(s.Version) }
+
+// Chain returns the versions whose checkpoint files recovery reads to
+// reconstruct the current state, ascending: the full base, then each delta.
+func (s State) Chain() []uint64 {
+	chain := make([]uint64, 0, s.Version-s.Base+1)
+	for v := s.Base; v <= s.Version; v++ {
+		chain = append(chain, v)
+	}
+	return chain
+}
 
 // parseVersionFile reads a version/newversion file and reports the version
 // it names, if the contents are a valid number.
@@ -124,10 +171,34 @@ func parseVersionFile(fs vfs.FS, name string) (uint64, bool) {
 	return v, true
 }
 
-// pairExists reports whether version v's checkpoint and log files both
-// exist.
-func pairExists(fs vfs.FS, v uint64) bool {
-	return vfs.Exists(fs, CheckpointName(v)) && vfs.Exists(fs, LogName(v))
+// ChainOf resolves version v's checkpoint chain: the versions whose
+// checkpoint files recovery reads, ascending from the full base to v
+// itself. The error describes the first break in the chain.
+func ChainOf(fs vfs.FS, v uint64) ([]uint64, error) {
+	var chain []uint64
+	for w := v; w >= 1; w-- {
+		chain = append(chain, w)
+		if vfs.Exists(fs, CheckpointName(w)) {
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return chain, nil
+		}
+		if !vfs.Exists(fs, DeltaName(w)) {
+			return nil, fmt.Errorf("checkpoint: chain of version %d is broken at version %d: neither %s nor %s exists", v, w, CheckpointName(w), DeltaName(w))
+		}
+	}
+	return nil, fmt.Errorf("checkpoint: chain of version %d reaches version 1 without a full base", v)
+}
+
+// versionComplete reports whether version v is recoverable: its log exists
+// and its checkpoint chain resolves down to a full base.
+func versionComplete(fs vfs.FS, v uint64) bool {
+	if !vfs.Exists(fs, LogName(v)) {
+		return false
+	}
+	_, err := ChainOf(fs, v)
+	return err == nil
 }
 
 // Init creates version 1: the caller streams the initial checkpoint (for an
@@ -145,7 +216,7 @@ func Init(fs vfs.FS, write func(w io.Writer) error) (State, error) {
 	if err := vfs.WriteFile(fs, versionFile, []byte("1\n")); err != nil {
 		return State{}, err
 	}
-	return State{Version: v}, nil
+	return State{Version: v, Base: v}, nil
 }
 
 func writeCheckpointFile(fs vfs.FS, name string, write func(w io.Writer) error) error {
@@ -209,7 +280,7 @@ func Recover(fs vfs.FS, retain int) (State, error) {
 // RecoverWith is Recover with full Options.
 func RecoverWith(fs vfs.FS, opts Options) (State, error) {
 	cur, haveNew := parseVersionFile(fs, newVersionFile)
-	if haveNew && !pairExists(fs, cur) {
+	if haveNew && !versionComplete(fs, cur) {
 		// newversion exists but its files don't — only possible if
 		// the switch crashed before its fsyncs completed, or media
 		// loss. Fall back to version.
@@ -229,7 +300,7 @@ func RecoverWith(fs vfs.FS, opts Options) (State, error) {
 			}
 			laterCheckpoint := false
 			for _, n := range names {
-				if v, isCp := parseNumbered(n, checkpointPrefix); isCp && v > 1 {
+				if v, _, isCp := parseCheckpointName(n); isCp && v > 1 {
 					laterCheckpoint = true
 				}
 			}
@@ -249,8 +320,11 @@ func RecoverWith(fs vfs.FS, opts Options) (State, error) {
 			return State{}, ErrNotInitialized
 		}
 		cur = v
-		if !pairExists(fs, cur) {
-			return State{}, fmt.Errorf("checkpoint: version file names %d but %s/%s missing", cur, CheckpointName(cur), LogName(cur))
+		if !vfs.Exists(fs, LogName(cur)) {
+			return State{}, fmt.Errorf("checkpoint: version file names %d but %s missing", cur, LogName(cur))
+		}
+		if _, cerr := ChainOf(fs, cur); cerr != nil {
+			return State{}, fmt.Errorf("checkpoint: version file names %d but its checkpoint is unreadable: %w", cur, cerr)
 		}
 		// Any newversion file left behind at this point is debris of
 		// a switch that never committed.
@@ -275,30 +349,99 @@ func RecoverWith(fs vfs.FS, opts Options) (State, error) {
 }
 
 // cleanup deletes checkpoint/log files that are newer than cur (debris of a
-// crashed switch) or older than the retention window, and reports the
-// retained versions.
+// crashed switch) or no longer referenced by the retention window, and
+// reports the retained versions.
+//
+// Deletion is computed from a keep set, not version by version: a
+// checkpoint file survives as long as the chain of cur or of any retained
+// version still references it. This is what makes retention safe for delta
+// chains — a base older than the retention window is kept while any
+// surviving delta stands on it, where the old per-version rule would have
+// deleted it and stranded the chain.
 func cleanup(fs vfs.FS, cur uint64, opts Options) (State, error) {
 	names, err := fs.List()
 	if err != nil {
 		return State{}, err
 	}
+	type cpKind struct{ full, delta bool }
+	cps := map[uint64]cpKind{}
 	versions := map[uint64]bool{}
 	for _, n := range names {
-		if v, ok := parseNumbered(n, checkpointPrefix); ok {
+		if v, isDelta, ok := parseCheckpointName(n); ok {
+			k := cps[v]
+			if isDelta {
+				k.delta = true
+			} else {
+				k.full = true
+			}
+			cps[v] = k
 			versions[v] = true
 		} else if v, ok := parseNumberedShard(n, logPrefix); ok {
 			versions[v] = true
 		}
 	}
+
+	// chainBase walks v's delta chain down to its full base on the file
+	// listing. A version with both kinds of file resolves as full: the
+	// stray delta is uncommitted debris (Prepare removes the opposite
+	// kind before the version can commit).
+	chainBase := func(v uint64) (uint64, bool) {
+		for w := v; w >= 1; w-- {
+			k := cps[w]
+			if k.full {
+				return w, true
+			}
+			if !k.delta {
+				return 0, false
+			}
+		}
+		return 0, false
+	}
+	base, ok := chainBase(cur)
+	if !ok {
+		return State{}, fmt.Errorf("checkpoint: version %d's delta chain has no full base", cur)
+	}
+
+	keepFull := map[uint64]bool{}
+	keepDelta := map[uint64]bool{}
+	keepChain := func(v, vbase uint64) {
+		keepFull[vbase] = true
+		for w := vbase + 1; w <= v; w++ {
+			keepDelta[w] = true
+		}
+	}
+	keepChain(cur, base)
+
+	// A version is retainable only if it is older than cur, inside the
+	// window, and still recoverable (complete chain plus log).
 	var retained []uint64
+	keepLog := map[uint64]bool{cur: true}
 	for v := range versions {
-		if v == cur {
+		if v >= cur || int(cur-v) > opts.Retain {
 			continue
 		}
-		// A version is retainable only if it is older than cur and its
-		// pair is complete.
-		if v < cur && pairExists(fs, v) && int(cur-v) <= opts.Retain {
-			retained = append(retained, v)
+		vbase, ok := chainBase(v)
+		if !ok || !vfs.Exists(fs, LogName(v)) {
+			continue
+		}
+		retained = append(retained, v)
+		keepChain(v, vbase)
+		keepLog[v] = true
+	}
+
+	for v := range versions {
+		k := cps[v]
+		if k.full && !keepFull[v] {
+			if err := fs.Remove(CheckpointName(v)); err != nil {
+				return State{}, err
+			}
+		}
+		if k.delta && !keepDelta[v] {
+			if err := fs.Remove(DeltaName(v)); err != nil {
+				return State{}, err
+			}
+		}
+		if keepLog[v] {
 			continue
 		}
 		// A sharded version's log is all its stream files.
@@ -317,16 +460,14 @@ func cleanup(fs vfs.FS, cur uint64, opts Options) (State, error) {
 			}
 			streams = nil
 		}
-		for _, n := range append(streams, CheckpointName(v)) {
-			if vfs.Exists(fs, n) {
-				if err := fs.Remove(n); err != nil {
-					return State{}, err
-				}
+		for _, n := range streams {
+			if err := fs.Remove(n); err != nil {
+				return State{}, err
 			}
 		}
 	}
 	sort.Slice(retained, func(i, j int) bool { return retained[i] < retained[j] })
-	return State{Version: cur, Retained: retained}, nil
+	return State{Version: cur, Base: base, Retained: retained}, nil
 }
 
 func parseNumbered(name, prefix string) (uint64, bool) {
@@ -409,6 +550,12 @@ func SwitchWith(fs vfs.FS, cur State, write func(w io.Writer) error, opts Option
 // number.
 func Prepare(fs vfs.FS, cur State, write func(w io.Writer) error, opts Options) (uint64, error) {
 	next := cur.Version + 1
+	// An aborted earlier switch to next may have left the opposite-kind
+	// file behind; clear it before this switch can commit, or recovery
+	// would resolve next's chain through stale debris.
+	if err := removeIfExists(fs, DeltaName(next)); err != nil {
+		return 0, err
+	}
 	var written int64
 	counted := func(w io.Writer) error {
 		cw := &countingWriter{w: w}
@@ -421,6 +568,42 @@ func Prepare(fs vfs.FS, cur State, write func(w io.Writer) error, opts Options) 
 	}
 	opts.Obs.Histogram("checkpoint_bytes").Observe(written)
 	return next, nil
+}
+
+// PrepareDelta is Prepare for a chained incremental switch: it writes and
+// syncs the next version's delta file checkpoint<v>.d — whose contents,
+// applied to version cur.Version's recovered state, produce the next
+// version's — instead of a full image. Every other step of the switch
+// (CreateLogFile, CommitNewVersion, InstallVersion, Finish) is identical,
+// as is the crash behavior: an uncommitted delta is debris that recovery
+// clears. The caller must hold a State whose own chain is intact (any
+// State returned by this package satisfies that).
+func PrepareDelta(fs vfs.FS, cur State, write func(w io.Writer) error, opts Options) (uint64, error) {
+	next := cur.Version + 1
+	// Clear opposite-kind debris of an aborted switch, as in Prepare: a
+	// stale full image at next would silently become the chain's base.
+	if err := removeIfExists(fs, CheckpointName(next)); err != nil {
+		return 0, err
+	}
+	var written int64
+	counted := func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		err := write(cw)
+		written = cw.n
+		return err
+	}
+	if err := writeCheckpointFile(fs, DeltaName(next), counted); err != nil {
+		return 0, err
+	}
+	opts.Obs.Histogram("checkpoint_delta_bytes").Observe(written)
+	return next, nil
+}
+
+func removeIfExists(fs vfs.FS, name string) error {
+	if !vfs.Exists(fs, name) {
+		return nil
+	}
+	return fs.Remove(name)
 }
 
 // CreateLogFile creates version v's empty log file, syncs it, and returns
@@ -500,8 +683,10 @@ func Finish(fs vfs.FS, v uint64, opts Options) (State, error) {
 // succeeded. Removal is best-effort: anything left behind is cleared by the
 // next switch or recovery.
 func Abort(fs vfs.FS, v uint64) {
-	if vfs.Exists(fs, CheckpointName(v)) {
-		_ = fs.Remove(CheckpointName(v))
+	for _, n := range []string{CheckpointName(v), DeltaName(v)} {
+		if vfs.Exists(fs, n) {
+			_ = fs.Remove(n)
+		}
 	}
 	if streams, err := wal.ShardFiles(fs, LogName(v)); err == nil {
 		for _, n := range streams {

@@ -159,6 +159,34 @@ type Config struct {
 	// by UnsafeNoSync, whose missing commit point defeats the mirror
 	// window's durability reasoning.
 	BlockingCheckpoint bool
+	// FullCheckpoints disables incremental delta checkpoints: every
+	// checkpoint pickles the entire root, as the paper's §3 does. By
+	// default a root that implements DeltaRoot (and serves versioned
+	// enquiries) checkpoints only the subtrees changed since the previous
+	// checkpoint, chained onto the last full image; see DeltaRoot and
+	// internal/checkpoint's delta-chain notes. Kept as the ablation the
+	// checkpoint_scaling experiment measures against. Implied by
+	// BlockingCheckpoint and UnsafeNoSync, whose paths always write full
+	// roots.
+	FullCheckpoints bool
+	// MaxDeltaChain bounds the delta chain: once a checkpoint would make
+	// the chain (full base + deltas) longer than this, a compaction
+	// rewrites the chain into a fresh full image. 0 means the default
+	// (DefaultMaxDeltaChain). Longer chains mean less checkpoint I/O and
+	// more restart work.
+	MaxDeltaChain int
+	// MaxDeltaRatio bounds the chain's cumulative delta bytes relative to
+	// its base image: past base*MaxDeltaRatio a compaction runs, and any
+	// single delta that large is written as a full image instead (at that
+	// point the delta machinery saves nothing). 0 means the default
+	// (DefaultMaxDeltaRatio).
+	MaxDeltaRatio float64
+	// SerialCompaction runs a due compaction synchronously inside the
+	// Checkpoint call that made it due, instead of on a background
+	// goroutine. It exists for the deterministic crash sweeps, which need
+	// a deterministic file-operation order; like SerialLogSync it costs
+	// exactly the concurrency it removes.
+	SerialCompaction bool
 	// Obs, when non-nil, receives the store's metrics (core_*), the
 	// log's (wal_*), the checkpoint protocol's (checkpoint_*) and the
 	// three-mode lock's (core_lock_*), for export through the debug
@@ -181,6 +209,17 @@ type Stats struct {
 	Enquiries   uint64
 	Updates     uint64
 	Checkpoints uint64
+	// DeltaCheckpoints counts the checkpoints (included in Checkpoints)
+	// that wrote a delta file instead of a full image; Compactions counts
+	// the full checkpoints forced to collapse a delta chain.
+	DeltaCheckpoints uint64
+	Compactions      uint64
+	// LastCheckpointBytes is the pickled size of the most recent
+	// checkpoint file — the I/O a checkpoint actually cost, which with
+	// deltas is proportional to churn, not root size. ChainLength is the
+	// current chain's file count (1 = a lone full image).
+	LastCheckpointBytes int64
+	ChainLength         int
 
 	VerifyTime time.Duration
 	PickleTime time.Duration
@@ -210,7 +249,17 @@ type Stats struct {
 	CheckpointStallDist  obs.Snapshot
 	CheckpointSwitchDist obs.Snapshot
 
+	// Restart decomposition: RestartCheckpointTime is reading the chain's
+	// full base image (proportional to root size), RestartDeltaTime is
+	// reading and applying the chain's deltas (proportional to churn since
+	// the base), RestartReplayTime is the log replay. The scaling claim the
+	// checkpoint_scaling experiment gates on is about the delta and replay
+	// components; the base read is paid once per chain, not per restart of
+	// a busy store (compaction refreshes it).
 	RestartCheckpointTime time.Duration
+	RestartDeltaTime      time.Duration
+	RestartDeltaBytes     int64
+	RestartDeltasApplied  int
 	RestartReplayTime     time.Duration
 	RestartEntries        int
 	RestartSkippedDamaged int
@@ -289,8 +338,23 @@ type Store struct {
 	cpHook     func(CheckpointStage) // test instrumentation; see SetCheckpointStageHook
 
 	checkpointing atomic.Bool    // auto-checkpoint in flight
+	compacting    atomic.Bool    // background compaction in flight
 	cpMu          sync.Mutex     // serializes whole checkpoints end to end
 	cpWG          sync.WaitGroup // in-flight auto-checkpoint goroutines; Close waits
+
+	// Delta-checkpoint state, guarded by cpMu (set without it only during
+	// Open, before the store is shared). cpPrevView is the published view
+	// pinned at the last successful checkpoint — the base the next delta
+	// diffs against; nil means the next checkpoint must be full. cpPrevSeq
+	// is that checkpoint's NextSeq. Retaining the view costs memory
+	// proportional to the churn since it was pinned (the COW discipline
+	// shares everything unchanged).
+	cpPrevView any
+	cpPrevSeq  uint64
+
+	// Chain accounting, read by compactionDue off the checkpoint path.
+	baseBytes  atomic.Int64 // pickled size of the chain's full base image
+	deltaBytes atomic.Int64 // cumulative delta sizes since that base
 
 	// statMu guards stats. Every write to stats — including the
 	// restart-time fields set during Open — goes through recordStats, so
@@ -310,6 +374,7 @@ type Store struct {
 	ctr struct {
 		enquiries, updates, checkpoints *obs.Counter
 		cpErrors, cpMirrored            *obs.Counter
+		deltaCheckpoints, compactions   *obs.Counter
 	}
 	cpInflight *obs.Gauge
 	tracer     obs.Tracer
@@ -337,6 +402,8 @@ func (s *Store) initObs() {
 	s.ctr.checkpoints = reg.Counter("core_checkpoints")
 	s.ctr.cpErrors = reg.Counter("core_checkpoint_errors")
 	s.ctr.cpMirrored = reg.Counter("checkpoint_mirrored_entries")
+	s.ctr.deltaCheckpoints = reg.Counter("core_delta_checkpoints")
+	s.ctr.compactions = reg.Counter("core_compactions")
 	s.cpInflight = reg.Gauge("core_checkpoint_inflight")
 	if reg != nil {
 		reg.Register("core_update_verify_ns", s.hist.verify)
@@ -362,6 +429,11 @@ func (s *Store) initObs() {
 		})
 		reg.Register("core_applied_seq", func() any { return s.AppliedSeq() })
 		reg.Register("core_checkpoint_version", func() any { return s.Version() })
+		reg.Register("core_checkpoint_chain_len", func() any {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(s.cpState.Version - s.cpState.Base + 1)
+		})
 		reg.Register("core_log_shards", func() any { return int64(s.logShards()) })
 		reg.Register("replay_decode_workers", func() any { return s.replayWorkers() })
 		reg.Register("pickle_plan_compiles", func() any {
@@ -407,11 +479,28 @@ func (s *Store) recordStats(fn func(st *Stats)) {
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("core: store is closed")
 
-// header is the first value in every checkpoint file: the sequence number
-// the log that accompanies the checkpoint starts at, then the root.
+// header is the first value in every full checkpoint file: the sequence
+// number the log that accompanies the checkpoint starts at, then the root.
 type header struct {
 	NextSeq uint64
 	Root    any
+}
+
+// deltaHeader is the sole value in a delta checkpoint file (checkpointN.d):
+// the chain link plus the root delta. Version and Parent pin the file to
+// its place in the chain (Parent is always Version-1; recovery verifies
+// both against the file name). FromSeq..NextSeq-1 is the sequence range the
+// delta covers: FromSeq is the parent checkpoint's NextSeq, NextSeq is this
+// one's. Subtrees counts the delta's subtree operations, for inspection
+// (cmd/logdump -checkpoint). Delta's concrete type is the root's own
+// (registered) delta representation.
+type deltaHeader struct {
+	Version  uint64
+	Parent   uint64
+	FromSeq  uint64
+	NextSeq  uint64
+	Subtrees int
+	Delta    any
 }
 
 // Open recovers a store from cfg.FS, initializing an empty database if the
@@ -453,8 +542,12 @@ func Open(cfg Config) (*Store, error) {
 
 func (s *Store) initFresh() (*Store, error) {
 	root := s.cfg.NewRoot()
+	var baseBytes int64
 	st, err := checkpoint.Init(s.cfg.FS, func(w io.Writer) error {
-		return pickle.Write(w, &header{NextSeq: 1, Root: root})
+		cw := &countingWriter{w: w}
+		werr := pickle.Write(cw, &header{NextSeq: 1, Root: root})
+		baseBytes = cw.n
+		return werr
 	})
 	if err != nil {
 		return nil, err
@@ -467,31 +560,62 @@ func (s *Store) initFresh() (*Store, error) {
 	s.log = l
 	s.cpState = st
 	s.applied = 0
+	s.baseBytes.Store(baseBytes)
+	s.seedDeltaBase(root, 1)
 	s.publish(0)
 	return s, nil
 }
 
-// load reads the current checkpoint and replays its log. If the current
-// checkpoint is unreadable (hard error) and a previous version is retained,
-// it falls back: load the previous checkpoint, replay the previous log,
-// then replay the current log (§4).
+// seedDeltaBase pins the view the next checkpoint will diff against, when
+// the configuration and root type support delta checkpoints at all.
+func (s *Store) seedDeltaBase(root any, nextSeq uint64) {
+	if s.cfg.FullCheckpoints || s.cfg.BlockingCheckpoint || s.cfg.UnsafeNoSync || !s.versioned {
+		return
+	}
+	dr, ok := root.(DeltaRoot)
+	if !ok {
+		return
+	}
+	s.cpPrevView = dr.SnapshotView()
+	s.cpPrevSeq = nextSeq
+}
+
+// load reads the current checkpoint chain (full base plus deltas) and
+// replays its log. If the chain is unreadable (hard error) and a previous
+// version is retained, it falls back: load the previous version's chain,
+// replay the previous log, then replay the current log (§4).
 func (s *Store) load(st checkpoint.State) error {
 	replayOpts := wal.ReplayOptions{Repair: true, SkipDamaged: s.cfg.SkipDamagedLogEntries, Obs: s.cfg.Obs}
 
-	hdr, cpTime, err := s.readCheckpoint(st.CheckpointName())
+	hdr, cs, err := s.readChain(st.Chain())
 	var res wal.ReplayResult
 	usedFallback := false
 	if err == nil {
+		s.baseBytes.Store(cs.baseBytes)
+		s.deltaBytes.Store(cs.deltaBytes)
+		// Pin the chain's state — exactly what on-disk version st.Version
+		// records, before replay mutates the root — so the first
+		// post-restart checkpoint can chain a delta onto it.
+		s.seedDeltaBase(hdr.Root, hdr.NextSeq)
 		res, err = s.replayInto(hdr, st.LogName(), hdr.NextSeq, replayOpts)
 	}
 	if err != nil && len(st.Retained) > 0 {
-		// Hard-error fallback through the newest retained version.
+		// Hard-error fallback through the newest retained version. The
+		// next checkpoint after a fallback is always full: the on-disk
+		// current version is damaged and must not become a delta parent.
+		s.cpPrevView, s.cpPrevSeq = nil, 0
 		prev := st.Retained[len(st.Retained)-1]
+		chain, cerr := checkpoint.ChainOf(s.cfg.FS, prev)
+		if cerr != nil {
+			return fmt.Errorf("core: current checkpoint unusable (%v) and previous one too: %w", err, cerr)
+		}
 		var ferr error
-		hdr, cpTime, ferr = s.readCheckpoint(checkpoint.CheckpointName(prev))
+		hdr, cs, ferr = s.readChain(chain)
 		if ferr != nil {
 			return fmt.Errorf("core: current checkpoint unusable (%v) and previous one too: %w", err, ferr)
 		}
+		s.baseBytes.Store(cs.baseBytes)
+		s.deltaBytes.Store(cs.deltaBytes)
 		prevRes, ferr := s.replayInto(hdr, checkpoint.LogName(prev), hdr.NextSeq, replayOpts)
 		if ferr != nil {
 			return fmt.Errorf("core: current checkpoint unusable (%v) and previous log too: %w", err, ferr)
@@ -518,7 +642,10 @@ func (s *Store) load(st checkpoint.State) error {
 	s.logEntries = int64(res.Entries)
 	s.publish(s.applied)
 	s.recordStats(func(stats *Stats) {
-		stats.RestartCheckpointTime = cpTime
+		stats.RestartCheckpointTime = cs.baseTime
+		stats.RestartDeltaTime = cs.deltaTime
+		stats.RestartDeltaBytes = cs.deltaBytes
+		stats.RestartDeltasApplied = cs.deltas
 		stats.RestartEntries = res.Entries
 		stats.RestartSkippedDamaged = res.Damaged
 		stats.RestartTornTail = res.Truncated
@@ -528,11 +655,54 @@ func (s *Store) load(st checkpoint.State) error {
 	return nil
 }
 
-func (s *Store) readCheckpoint(name string) (*header, time.Duration, error) {
+// chainStats decomposes what loading a chain cost: the full base image
+// (proportional to root size) versus the deltas (proportional to churn).
+type chainStats struct {
+	baseTime   time.Duration
+	baseBytes  int64
+	deltaTime  time.Duration
+	deltaBytes int64
+	deltas     int
+}
+
+// readChain loads a checkpoint chain — chain[0] is the full base image,
+// the rest deltas applied in version order — returning the reconstructed
+// header (NextSeq is the last link's).
+func (s *Store) readChain(chain []uint64) (*header, chainStats, error) {
+	var cs chainStats
+	hdr, n, dur, err := s.readCheckpoint(checkpoint.CheckpointName(chain[0]))
+	if err != nil {
+		return nil, cs, err
+	}
+	cs.baseBytes, cs.baseTime = n, dur
+	for _, w := range chain[1:] {
+		dh, n, dur, err := s.readDelta(checkpoint.DeltaName(w), w)
+		if err != nil {
+			return nil, cs, err
+		}
+		dr, ok := hdr.Root.(DeltaRoot)
+		if !ok {
+			return nil, cs, fmt.Errorf("core: checkpoint chain holds deltas but root type %T cannot apply them", hdr.Root)
+		}
+		if dh.FromSeq != hdr.NextSeq {
+			return nil, cs, fmt.Errorf("core: delta checkpoint %d covers sequences from %d but its parent ends at %d", w, dh.FromSeq, hdr.NextSeq)
+		}
+		if err := dr.ApplyDelta(dh.Delta); err != nil {
+			return nil, cs, fmt.Errorf("core: applying delta checkpoint %d: %w", w, err)
+		}
+		hdr.NextSeq = dh.NextSeq
+		cs.deltaBytes += n
+		cs.deltaTime += dur
+		cs.deltas++
+	}
+	return hdr, cs, nil
+}
+
+func (s *Store) readCheckpoint(name string) (*header, int64, time.Duration, error) {
 	start := time.Now()
 	f, err := s.cfg.FS.Open(name)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer f.Close()
 	var hdr header
@@ -540,13 +710,36 @@ func (s *Store) readCheckpoint(name string) (*header, time.Duration, error) {
 	// decode CPU; the decoder adds its own small-read buffering on top.
 	ra := checkpoint.NewReadAhead(f)
 	defer ra.Close()
-	if err := pickle.Read(ra, &hdr); err != nil {
-		return nil, 0, fmt.Errorf("core: reading checkpoint %s: %w", name, err)
+	cr := &countingReader{r: ra}
+	if err := pickle.Read(cr, &hdr); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: reading checkpoint %s: %w", name, err)
 	}
 	if hdr.Root == nil || hdr.NextSeq == 0 {
-		return nil, 0, fmt.Errorf("core: checkpoint %s is malformed", name)
+		return nil, 0, 0, fmt.Errorf("core: checkpoint %s is malformed", name)
 	}
-	return &hdr, time.Since(start), nil
+	return &hdr, cr.n, time.Since(start), nil
+}
+
+// readDelta reads one delta checkpoint file and validates its chain link
+// against the version its name claims.
+func (s *Store) readDelta(name string, want uint64) (*deltaHeader, int64, time.Duration, error) {
+	start := time.Now()
+	f, err := s.cfg.FS.Open(name)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	ra := checkpoint.NewReadAhead(f)
+	defer ra.Close()
+	cr := &countingReader{r: ra}
+	var dh deltaHeader
+	if err := pickle.Read(cr, &dh); err != nil {
+		return nil, 0, 0, fmt.Errorf("core: reading delta checkpoint %s: %w", name, err)
+	}
+	if dh.Version != want || dh.Parent != want-1 || dh.NextSeq == 0 || dh.Delta == nil {
+		return nil, 0, 0, fmt.Errorf("core: delta checkpoint %s is malformed (version %d, parent %d)", name, dh.Version, dh.Parent)
+	}
+	return &dh, cr.n, time.Since(start), nil
 }
 
 // replayWorkers resolves Config.ReplayWorkers: 0 sizes the decode pool
@@ -1164,30 +1357,123 @@ func (s *Store) autoCheckpointDue() bool {
 	return false
 }
 
-// Checkpoint records the entire database on disk and starts an empty log
-// (§3). By default updates are excluded only while the root is pickled in
-// memory; every disk transfer happens while updates keep committing (see
-// checkpointNonBlocking). With Config.BlockingCheckpoint — or UnsafeNoSync,
-// which has no commit point for the mirror window to preserve — the paper's
-// fully-locked variant runs instead. Enquiries proceed either way.
+// Checkpoint records the database on disk and starts an empty log (§3).
+// With a DeltaRoot (the default for the nameserver and replica roots) the
+// checkpoint file holds only the subtrees changed since the previous
+// checkpoint, chained onto the last full image; a full rewrite (compaction)
+// runs automatically once the chain crosses Config.MaxDeltaChain or
+// Config.MaxDeltaRatio. By default updates are excluded only while the
+// root is pickled in memory; every disk transfer happens while updates
+// keep committing (see checkpointNonBlocking). With
+// Config.BlockingCheckpoint — or UnsafeNoSync, which has no commit point
+// for the mirror window to preserve — the paper's fully-locked,
+// full-image variant runs instead. Enquiries proceed either way.
 // Concurrent Checkpoint calls serialize; each performs a full switch.
 func (s *Store) Checkpoint() error {
 	s.cpMu.Lock()
-	defer s.cpMu.Unlock()
-	s.cpInflight.Set(1)
-	var err error
-	if s.cfg.BlockingCheckpoint || s.cfg.UnsafeNoSync {
-		err = s.checkpointBlocking()
-	} else {
-		err = s.checkpointNonBlocking()
+	err := s.checkpointLocked(false)
+	s.cpMu.Unlock()
+	s.noteCheckpointErr(err)
+	if err == nil {
+		s.maybeCompact()
 	}
-	s.cpInflight.Set(0)
+	return err
+}
+
+// checkpointLocked runs one checkpoint switch; the caller holds cpMu.
+// forceFull makes a delta-capable store write a full image (compaction).
+func (s *Store) checkpointLocked(forceFull bool) error {
+	s.cpInflight.Set(1)
+	defer s.cpInflight.Set(0)
+	if s.cfg.BlockingCheckpoint || s.cfg.UnsafeNoSync {
+		return s.checkpointBlocking()
+	}
+	return s.checkpointNonBlocking(forceFull)
+}
+
+// noteCheckpointErr records a checkpoint outcome where LastCheckpointErr,
+// the error counter and the tracer surface it.
+func (s *Store) noteCheckpointErr(err error) {
 	s.mu.Lock()
 	s.lastCPErr = err
 	s.mu.Unlock()
 	if err != nil && !errors.Is(err, ErrClosed) {
 		s.ctr.cpErrors.Inc()
 		obs.Emit(s.tracer, obs.Event{Name: "checkpoint.error", Err: err})
+	}
+}
+
+// compactionDue reports whether the delta chain has outgrown its bounds
+// and should be rewritten into a fresh full image.
+func (s *Store) compactionDue() bool {
+	s.mu.Lock()
+	st := s.cpState
+	unhealthy := s.closed || s.poisoned != nil
+	s.mu.Unlock()
+	if unhealthy || st.Version <= st.Base {
+		return false
+	}
+	if int(st.Version-st.Base) >= s.maxDeltaChain() {
+		return true
+	}
+	bb := s.baseBytes.Load()
+	return bb > 0 && float64(s.deltaBytes.Load()) > s.maxDeltaRatio()*float64(bb)
+}
+
+// maybeCompact rewrites the delta chain into a fresh full image when it
+// has outgrown its bounds — on a single-flight background goroutine, so
+// the checkpoint that tripped the threshold doesn't absorb a full-root
+// write, or synchronously under Config.SerialCompaction.
+func (s *Store) maybeCompact() {
+	if !s.compactionDue() {
+		return
+	}
+	if s.cfg.SerialCompaction {
+		s.cpMu.Lock()
+		err := s.compactLocked()
+		s.cpMu.Unlock()
+		s.noteCheckpointErr(err)
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return // one at a time
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.compacting.Store(false)
+		return
+	}
+	s.cpWG.Add(1) // under mu with closed checked, so Close cannot be Waiting yet
+	s.mu.Unlock()
+	go func() {
+		defer s.compacting.Store(false)
+		defer s.cpWG.Done()
+		s.cpMu.Lock()
+		err := s.compactLocked()
+		s.cpMu.Unlock()
+		s.noteCheckpointErr(err)
+	}()
+}
+
+// compactLocked re-checks the thresholds under cpMu (a concurrent manual
+// Checkpoint may have compacted already) and runs the full switch.
+func (s *Store) compactLocked() error {
+	if !s.compactionDue() {
+		return nil
+	}
+	s.mu.Lock()
+	chainLen := int64(1 + s.cpState.Version - s.cpState.Base)
+	s.mu.Unlock()
+	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.compact", Attrs: []obs.Attr{
+		obs.A("chain_len", chainLen),
+		obs.A("delta_bytes", s.deltaBytes.Load()),
+		obs.A("base_bytes", s.baseBytes.Load()),
+	}})
+	err := s.checkpointLocked(true)
+	if err == nil {
+		s.ctr.compactions.Inc()
+		s.recordStats(func(st *Stats) { st.Compactions++ })
 	}
 	return err
 }
@@ -1269,7 +1555,15 @@ func (s *Store) stageHook(stage CheckpointStage) {
 // new checkpoint + new log, which the dual-sync rule has kept durably
 // complete up to every acknowledgement. The crashtest overlap sweep
 // (cmd/crashtest -overlap) proves this at every faultfs op index.
-func (s *Store) checkpointNonBlocking() error {
+//
+// With a DeltaRoot and a pinned previous view, step 1's pickle produces a
+// delta — the diff of the pinned snapshot against the previous
+// checkpoint's — and step 2 writes it as checkpointN.d, chaining onto the
+// previous version. Everything else (mirror window, commit point,
+// retention) is identical; a delta that would rival the base image's size
+// is discarded and the full root pickled instead. forceFull is the
+// compactor's handle: it collapses the chain into a fresh full image.
+func (s *Store) checkpointNonBlocking(forceFull bool) error {
 	s.lock.UpdateUrgent()
 	s.mu.Lock()
 	if s.closed {
@@ -1358,9 +1652,45 @@ func (s *Store) checkpointNonBlocking() error {
 		checkpoint.Abort(s.cfg.FS, next)
 		return err
 	}
+	var isDelta bool
+	var subtrees int
+	var curView any
 	if snap != nil {
 		ps := time.Now()
-		perr = pickle.Write(sw, &header{NextSeq: nextSeq, Root: snap.Root()})
+		curView = snap.Root()
+		if prevView := s.cpPrevView; prevView != nil && !forceFull && !s.cfg.FullCheckpoints {
+			if dr, ok := curView.(DeltaRoot); ok {
+				delta, derr := dr.DeltaSince(prevView)
+				if derr == nil {
+					dh := &deltaHeader{
+						Version: next, Parent: cur.Version,
+						FromSeq: s.cpPrevSeq, NextSeq: nextSeq,
+						Subtrees: deltaOps(delta), Delta: delta,
+					}
+					if perr = pickle.Write(sw, dh); perr == nil {
+						isDelta = true
+						subtrees = dh.Subtrees
+					}
+				}
+				if !isDelta {
+					// A failed diff or pickle is not fatal — fall back to
+					// the full image this checkpoint would otherwise be.
+					sw.buf = sw.buf[:0]
+					perr = nil
+				}
+			}
+		}
+		if isDelta {
+			// Size guard: a delta rivaling the base image saves nothing
+			// and still lengthens the chain; write a fresh full image.
+			if bb := s.baseBytes.Load(); bb <= 0 || float64(len(sw.buf)) >= s.maxDeltaRatio()*float64(bb) {
+				sw.buf = sw.buf[:0]
+				isDelta = false
+			}
+		}
+		if !isDelta {
+			perr = pickle.Write(sw, &header{NextSeq: nextSeq, Root: curView})
+		}
 		snap.Release()
 		buf = sw.buf
 		pickleTime += time.Since(ps)
@@ -1369,13 +1699,21 @@ func (s *Store) checkpointNonBlocking() error {
 			return abort(perr)
 		}
 	}
-	ioStart := time.Now()
-	if _, err := checkpoint.Prepare(s.cfg.FS, cur, func(w io.Writer) error {
+	cpBytes := int64(len(buf))
+	writeBody := func(w io.Writer) error {
 		_, werr := w.Write(buf)
 		return werr
-	}, s.cpOpts()); err != nil {
+	}
+	ioStart := time.Now()
+	var prepErr error
+	if isDelta {
+		_, prepErr = checkpoint.PrepareDelta(s.cfg.FS, cur, writeBody, s.cpOpts())
+	} else {
+		_, prepErr = checkpoint.Prepare(s.cfg.FS, cur, writeBody, s.cpOpts())
+	}
+	if prepErr != nil {
 		putCPBuf(bufp, buf)
-		return abort(err)
+		return abort(prepErr)
 	}
 	putCPBuf(bufp, buf)
 	ioTime := time.Since(ioStart)
@@ -1433,11 +1771,15 @@ func (s *Store) checkpointNonBlocking() error {
 		return err
 	}
 	s.ctr.cpMirrored.Add(uint64(mirrored))
+	newBase := next
+	if isDelta {
+		newBase = cur.Base
+	}
 	s.mu.Lock()
 	// Provisional state until Finish reports retention; logEntries counts
 	// what the new log holds — exactly the window's mirrored entries plus
 	// whatever commits from now on.
-	s.cpState = checkpoint.State{Version: next, Retained: cur.Retained}
+	s.cpState = checkpoint.State{Version: next, Base: newBase, Retained: cur.Retained}
 	s.logEntries = int64(s.applied - (nextSeq - 1))
 	s.mu.Unlock()
 
@@ -1453,9 +1795,36 @@ func (s *Store) checkpointNonBlocking() error {
 	checkpoint.ObserveSwitch(s.cpOpts(), cpStart)
 	switchTime := time.Since(switchStart)
 
+	// Chain accounting and the next delta's base. curView is the pinned
+	// published view this checkpoint recorded — exactly what on-disk
+	// version `next` reconstructs to — so it is the diff base for the
+	// next checkpoint. (All under cpMu, which the caller holds.)
+	if isDelta {
+		s.deltaBytes.Add(cpBytes)
+		s.ctr.deltaCheckpoints.Inc()
+	} else {
+		s.baseBytes.Store(cpBytes)
+		s.deltaBytes.Store(0)
+	}
+	if curView != nil && !s.cfg.FullCheckpoints {
+		if _, ok := curView.(DeltaRoot); ok {
+			s.cpPrevView = curView
+			s.cpPrevSeq = nextSeq
+		}
+	}
+
 	s.recordCheckpointStats(stall, pickleTime, ioTime, switchTime)
+	s.recordStats(func(st *Stats) {
+		st.LastCheckpointBytes = cpBytes
+		if isDelta {
+			st.DeltaCheckpoints++
+		}
+	})
 	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Attrs: []obs.Attr{
 		obs.A("version", next),
+		obs.A("delta", isDelta),
+		obs.A("bytes", cpBytes),
+		obs.A("subtrees", subtrees),
 		obs.A("stall", stall.Round(time.Microsecond)),
 		obs.A("pickle", pickleTime.Round(time.Microsecond)),
 		obs.A("io", ioTime.Round(time.Microsecond)),
@@ -1520,12 +1889,14 @@ func (s *Store) checkpointBlocking() error {
 	// switch is the version-switch protocol (log creation, newversion
 	// commit, install, cleanup).
 	var pickleTime time.Duration
+	var cpBytes int64
 	prepStart := time.Now()
 	next, err := checkpoint.Prepare(s.cfg.FS, cur, func(w io.Writer) error {
 		p0 := time.Now()
 		cw := &countingWriter{w: w}
 		werr := pickle.Write(cw, &header{NextSeq: nextSeq, Root: s.root})
 		pickleTime = time.Since(p0) - cw.ioTime
+		cpBytes = cw.n
 		return werr
 	}, s.cpOpts())
 	if err != nil {
@@ -1581,10 +1952,17 @@ func (s *Store) checkpointBlocking() error {
 	s.cpState = newState
 	s.logEntries = 0
 	s.mu.Unlock()
+	// The blocking path always writes a full image (see Config
+	// .FullCheckpoints): the chain collapses and any pinned delta base is
+	// stale. (Under cpMu, which the caller holds.)
+	s.baseBytes.Store(cpBytes)
+	s.deltaBytes.Store(0)
+	s.cpPrevView, s.cpPrevSeq = nil, 0
 
 	stall := time.Since(cpStart)
 	s.hist.cpStall.ObserveDuration(stall)
 	s.recordCheckpointStats(stall, pickleTime, ioTime, switchTime)
+	s.recordStats(func(st *Stats) { st.LastCheckpointBytes = cpBytes })
 	obs.Emit(s.tracer, obs.Event{Name: "checkpoint.finish", Dur: time.Since(cpStart), Attrs: []obs.Attr{
 		obs.A("version", newState.Version),
 		obs.A("pickle", pickleTime.Round(time.Microsecond)),
@@ -1638,10 +2016,12 @@ func (w *sliceWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// countingWriter tracks time spent inside the underlying writer, to
-// separate pickling CPU from disk time in checkpoint instrumentation.
+// countingWriter tracks the bytes written and the time spent inside the
+// underlying writer, to separate pickling CPU from disk time in checkpoint
+// instrumentation and to size checkpoint images.
 type countingWriter struct {
 	w      io.Writer
+	n      int64
 	ioTime time.Duration
 }
 
@@ -1649,6 +2029,20 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	t := time.Now()
 	n, err := c.w.Write(p)
 	c.ioTime += time.Since(t)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader counts the bytes the decoder consumed, sizing checkpoint
+// files on the restart path without an extra stat.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
 	return n, err
 }
 
@@ -1784,6 +2178,7 @@ func (s *Store) Stats() Stats {
 		st.LogBytes = s.log.Size()
 	}
 	st.LogEntries = s.logEntries
+	st.ChainLength = int(1 + s.cpState.Version - s.cpState.Base)
 	s.mu.Unlock()
 	return st
 }

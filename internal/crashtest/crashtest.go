@@ -87,6 +87,17 @@ type Config struct {
 	// cadence is rounded up to a batch multiple so the schedule still
 	// fires.
 	Batch int
+	// FullCheckpoints runs every checkpoint as a full-root write instead
+	// of the default incremental delta chained onto the last full image —
+	// the ablation sweep, and the pre-delta behaviour.
+	FullCheckpoints bool
+	// MaxDeltaChain caps the delta chain before a compaction rewrites it
+	// into a fresh full base (0 = the store default). Small values put
+	// compactions inside the sweep, so crash points land mid-rewrite. The
+	// harness always forces SerialCompaction: a due compaction runs
+	// synchronously inside the checkpoint that tripped it, on the workload
+	// thread, so the sweep's fs-op indexing stays deterministic.
+	MaxDeltaChain int
 	// Readers runs this many concurrent snapshot readers alongside every
 	// workload — the reference run, each crash replay, and the post-crash
 	// catch-up — each continuously validating that a pinned snapshot at
@@ -485,7 +496,8 @@ func (r *runner) runStoreWorkload(fs vfs.FS, rec *recorder, opCount func() int64
 	}
 	defer fl.Close()
 	srv, err := nameserver.Open(nameserver.Config{FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers,
-		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1, Tracer: fl})
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1, Tracer: fl,
+		FullCheckpoints: r.cfg.FullCheckpoints, MaxDeltaChain: r.cfg.MaxDeltaChain, SerialCompaction: true})
 	if err != nil {
 		return err
 	}
@@ -548,7 +560,8 @@ func (r *runner) storePoint(n int64) (out []Violation) {
 	}
 
 	srv, err := nameserver.Open(nameserver.Config{FS: snap, ReplayWorkers: r.cfg.ReplayWorkers,
-		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1})
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1,
+		FullCheckpoints: r.cfg.FullCheckpoints, MaxDeltaChain: r.cfg.MaxDeltaChain, SerialCompaction: true})
 	if err != nil {
 		return append(out, r.violation(n, "recovery failed: %v", err))
 	}
@@ -667,7 +680,8 @@ func (r *runner) runReplicaWorkload(fs vfs.FS, p *peer, rec *recorder, opCount f
 	}
 	defer fl.Close()
 	node, err := replica.Open(replica.Config{Name: "a", FS: fs, UnsafeNoSync: r.cfg.UnsafeNoSync, ReplayWorkers: r.cfg.ReplayWorkers,
-		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1, Tracer: fl})
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1, Tracer: fl,
+		FullCheckpoints: r.cfg.FullCheckpoints, MaxDeltaChain: r.cfg.MaxDeltaChain, SerialCompaction: true})
 	if err != nil {
 		return err
 	}
@@ -737,7 +751,8 @@ func (r *runner) replicaPoint(n int64) (out []Violation) {
 	}
 
 	node, err := replica.Open(replica.Config{Name: "a", FS: snap, ReplayWorkers: r.cfg.ReplayWorkers,
-		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1})
+		LogShards: r.cfg.LogShards, SerialLogSync: r.cfg.LogShards > 1,
+		FullCheckpoints: r.cfg.FullCheckpoints, MaxDeltaChain: r.cfg.MaxDeltaChain, SerialCompaction: true})
 	if err != nil {
 		return append(out, r.violation(n, "recovery failed: %v", err))
 	}

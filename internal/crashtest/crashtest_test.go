@@ -130,6 +130,66 @@ func TestOverlapReplicaTorture(t *testing.T) {
 	}
 }
 
+// TestDeltaChainCompactionTorture sweeps a store-mode workload whose
+// checkpoints are incremental deltas with the chain capped at one link, so
+// every second checkpoint trips a serial compaction: crash points land
+// inside delta writes, inside the chain's version commits, and inside the
+// compaction's full-base rewrite. Recovery at each point loads base +
+// surviving deltas + log replay and must still land on the oracle prefix.
+func TestDeltaChainCompactionTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 15, Mode: ModeStore, CheckpointEvery: 3, MaxDeltaChain: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points < 20 {
+		t.Fatalf("suspiciously few crash points: %d", res.Points)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestOverlapDeltaChainTorture commits updates inside every checkpoint's
+// mirror window — including the compaction rewrites the short chain cap
+// forces — so the sweep covers updates acknowledged while a delta or a
+// compacted full base is in flight.
+func TestOverlapDeltaChainTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 12, Mode: ModeStore, CheckpointEvery: 3, MaxDeltaChain: 1,
+		OverlapCheckpoints: true, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestReplicaDeltaChainTorture runs the short-chain compaction sweep on a
+// replica node: the delta chain, the compaction, and the anti-entropy
+// catch-up after each recovery all compose.
+func TestReplicaDeltaChainTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 2, Ops: 10, Mode: ModeReplica, CheckpointEvery: 3, MaxDeltaChain: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestFullCheckpointsTorture sweeps the ablation — every checkpoint a full
+// root write, the pre-delta behaviour — so both sides of the
+// checkpoint_scaling comparison stay crash-safe.
+func TestFullCheckpointsTorture(t *testing.T) {
+	res, err := Run(Config{Seed: 1, Ops: 12, Mode: ModeStore, FullCheckpoints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
 // TestPointRangeAndStride: From/To/Stride select the requested subset.
 func TestPointRangeAndStride(t *testing.T) {
 	res, err := Run(Config{Seed: 3, Ops: 8, Mode: ModeStore, From: 4, To: 12, Stride: 2})

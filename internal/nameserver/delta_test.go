@@ -1,0 +1,198 @@
+package nameserver
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"smalldb/internal/pickle"
+)
+
+// nodesMatch compares two subtrees on every pickled field, stamps
+// included (flatModel only covers values, and deltas must preserve
+// replication stamps too).
+func nodesMatch(a, b *Node, path string) string {
+	if a == nil || b == nil {
+		if a == b {
+			return ""
+		}
+		return fmt.Sprintf("node %q: nil mismatch", path)
+	}
+	if a.Value != b.Value || a.HasValue != b.HasValue || a.Stamp != b.Stamp || a.StampBy != b.StampBy {
+		return fmt.Sprintf("node %q: scalars %v/%q/%d/%q vs %v/%q/%d/%q",
+			path, a.HasValue, a.Value, a.Stamp, a.StampBy, b.HasValue, b.Value, b.Stamp, b.StampBy)
+	}
+	if len(a.Children) != len(b.Children) {
+		return fmt.Sprintf("node %q: %d vs %d children", path, len(a.Children), len(b.Children))
+	}
+	for label, ac := range a.Children {
+		bc, ok := b.Children[label]
+		if !ok {
+			return fmt.Sprintf("node %q: extra child %q", path, label)
+		}
+		if d := nodesMatch(ac, bc, path+"/"+label); d != "" {
+			return d
+		}
+	}
+	return ""
+}
+
+// roundTripDelta pushes a delta through the pickle wire format, as the
+// checkpoint file does, so aliasing with the source tree is severed and
+// wire-compatibility is asserted on every test.
+func roundTripDelta(t *testing.T, d any) *TreeDelta {
+	t.Helper()
+	data, err := pickle.Marshal(d.(*TreeDelta))
+	if err != nil {
+		t.Fatalf("marshal delta: %v", err)
+	}
+	out := &TreeDelta{}
+	if err := pickle.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal delta: %v", err)
+	}
+	return out
+}
+
+// TestTreeDeltaProperty: random updates with snapshots at random points;
+// a reconstruction tree fed only pickled deltas must track every snapshot
+// exactly.
+func TestTreeDeltaProperty(t *testing.T) {
+	ops := 600
+	if testing.Short() {
+		ops = 150
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		rng := rand.New(rand.NewSource(seed))
+		tree := NewTree()
+		recon := NewTree()
+		prev := tree.SnapshotView().(*Tree)
+		snapshots, deltaOps, applied := 0, 0, 0
+		for i := 0; i < ops; i++ {
+			u := genUpdate(rng)
+			if err := u.Verify(tree); err != nil {
+				continue
+			}
+			if err := u.Apply(tree); err != nil {
+				t.Fatalf("seed %d op %d: %v", seed, i, err)
+			}
+			applied++
+			if rng.Float64() < 0.15 {
+				cur := tree.SnapshotView().(*Tree)
+				d, err := cur.DeltaSince(prev)
+				if err != nil {
+					t.Fatalf("seed %d op %d: DeltaSince: %v", seed, i, err)
+				}
+				wire := roundTripDelta(t, d)
+				deltaOps += len(wire.Ops)
+				if err := recon.ApplyDelta(wire); err != nil {
+					t.Fatalf("seed %d op %d: ApplyDelta: %v", seed, i, err)
+				}
+				if diff := nodesMatch(recon.Root, cur.Root, ""); diff != "" {
+					t.Fatalf("seed %d op %d: reconstruction diverged: %s", seed, i, diff)
+				}
+				prev = cur
+				snapshots++
+			}
+		}
+		if snapshots == 0 || applied == 0 {
+			t.Fatalf("seed %d: degenerate run (%d snapshots, %d applied)", seed, snapshots, applied)
+		}
+		t.Logf("seed %d: %d updates, %d snapshots, %d delta ops", seed, applied, snapshots, deltaOps)
+	}
+}
+
+func TestTreeDeltaEmpty(t *testing.T) {
+	tree := NewTree()
+	(&SetValue{Path: []string{"a"}, Value: "1"}).Apply(tree)
+	v1 := tree.SnapshotView().(*Tree)
+	v2 := tree.SnapshotView().(*Tree)
+	d, err := v2.DeltaSince(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.(*TreeDelta).DeltaOps(); n != 0 {
+		t.Fatalf("delta of identical snapshots has %d ops", n)
+	}
+}
+
+// TestTreeDeltaProportionalToChurn: touching a handful of names in a big
+// tree yields a delta whose op count is on the order of the churn, not
+// the tree.
+func TestTreeDeltaProportionalToChurn(t *testing.T) {
+	tree := NewTree()
+	for i := 0; i < 2000; i++ {
+		p := []string{fmt.Sprintf("dir%d", i%50), fmt.Sprintf("leaf%d", i)}
+		(&SetValue{Path: p, Value: "x"}).Apply(tree)
+	}
+	v1 := tree.SnapshotView().(*Tree)
+	for i := 0; i < 10; i++ {
+		(&SetValue{Path: []string{"dir0", fmt.Sprintf("leaf%d", i*50)}, Value: "y"}).Apply(tree)
+	}
+	v2 := tree.SnapshotView().(*Tree)
+	d, err := v2.DeltaSince(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.(*TreeDelta).DeltaOps()
+	if n == 0 || n > 30 {
+		t.Fatalf("10 leaf writes produced %d delta ops", n)
+	}
+}
+
+// TestTreeDeltaMove: a Move shows up as a delete plus a full-subtree put;
+// reconstruction must land on the identical tree.
+func TestTreeDeltaMove(t *testing.T) {
+	tree := NewTree()
+	for i := 0; i < 5; i++ {
+		(&SetValue{Path: []string{"src", fmt.Sprintf("k%d", i)}, Value: "v"}).Apply(tree)
+	}
+	v1 := tree.SnapshotView().(*Tree)
+	recon := NewTree()
+	if err := recon.ApplyDelta(roundTripDelta(t, mustDelta(t, v1, NewTree().SnapshotView().(*Tree)))); err != nil {
+		t.Fatal(err)
+	}
+	if diff := nodesMatch(recon.Root, v1.Root, ""); diff != "" {
+		t.Fatalf("base reconstruction: %s", diff)
+	}
+
+	if err := (&Move{From: []string{"src"}, To: []string{"dst"}}).Apply(tree); err != nil {
+		t.Fatal(err)
+	}
+	v2 := tree.SnapshotView().(*Tree)
+	d := roundTripDelta(t, mustDelta(t, v2, v1))
+	if err := recon.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if diff := nodesMatch(recon.Root, v2.Root, ""); diff != "" {
+		t.Fatalf("after move: %s", diff)
+	}
+}
+
+// TestTreeDeltaStamps: replication stamps travel with DeltaSet ops.
+func TestTreeDeltaStamps(t *testing.T) {
+	tree := NewTree()
+	(&SetValue{Path: []string{"x"}, Value: "0"}).Apply(tree)
+	v1 := tree.SnapshotView().(*Tree)
+	n := tree.EnsureNode([]string{"x"})
+	n.Value, n.HasValue, n.Stamp, n.StampBy = "1", true, 42, "nodeB"
+	v2 := tree.SnapshotView().(*Tree)
+
+	recon := NewTree()
+	(&SetValue{Path: []string{"x"}, Value: "0"}).Apply(recon)
+	if err := recon.ApplyDelta(roundTripDelta(t, mustDelta(t, v2, v1))); err != nil {
+		t.Fatal(err)
+	}
+	got := recon.FindNode([]string{"x"})
+	if got == nil || got.Stamp != 42 || got.StampBy != "nodeB" || got.Value != "1" {
+		t.Fatalf("stamps lost: %+v", got)
+	}
+}
+
+func mustDelta(t *testing.T, cur, prev *Tree) any {
+	t.Helper()
+	d, err := cur.DeltaSince(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -43,6 +43,18 @@ type Config struct {
 	// are excluded during each in-memory apply, instead of reading
 	// lock-free published snapshots (the read-scaling ablation).
 	LockedEnquiries bool
+	// FullCheckpoints passes through: every checkpoint writes the full
+	// tree instead of the default incremental delta chained onto the last
+	// full image (the checkpoint_scaling ablation).
+	FullCheckpoints bool
+	// MaxDeltaChain and MaxDeltaRatio pass through: the delta-chain
+	// compaction thresholds (0 = the store defaults).
+	MaxDeltaChain int
+	MaxDeltaRatio float64
+	// SerialCompaction passes through: a due compaction runs synchronously
+	// inside the checkpoint that tripped it (the crash-sweep determinism
+	// knob).
+	SerialCompaction bool
 	// Obs and Tracer pass through to the store's instrumentation.
 	Obs    *obs.Registry
 	Tracer obs.Tracer
@@ -71,6 +83,10 @@ func Open(cfg Config) (*Server, error) {
 		SerialLogSync:         cfg.SerialLogSync,
 		BlockingCheckpoint:    cfg.BlockingCheckpoint,
 		LockedEnquiries:       cfg.LockedEnquiries,
+		FullCheckpoints:       cfg.FullCheckpoints,
+		MaxDeltaChain:         cfg.MaxDeltaChain,
+		MaxDeltaRatio:         cfg.MaxDeltaRatio,
+		SerialCompaction:      cfg.SerialCompaction,
 		Obs:                   cfg.Obs,
 		Tracer:                cfg.Tracer,
 	})

@@ -49,6 +49,18 @@ type Config struct {
 	// LockedEnquiries passes through: enquiries take the shared lock
 	// instead of reading lock-free published snapshots (the ablation).
 	LockedEnquiries bool
+	// FullCheckpoints passes through: every checkpoint writes the full
+	// root instead of the default incremental delta chained onto the last
+	// full image (the checkpoint_scaling ablation).
+	FullCheckpoints bool
+	// MaxDeltaChain and MaxDeltaRatio pass through: the delta-chain
+	// compaction thresholds (0 = the store defaults).
+	MaxDeltaChain int
+	MaxDeltaRatio float64
+	// SerialCompaction passes through: a due compaction runs synchronously
+	// inside the checkpoint that tripped it (the crash-sweep determinism
+	// knob).
+	SerialCompaction bool
 	// Obs and Tracer pass through to the store and additionally receive
 	// the replication metrics (replica_*) and the replica.push /
 	// replica.antientropy events.
@@ -128,6 +140,10 @@ func Open(cfg Config) (*Node, error) {
 		SerialLogSync:      cfg.SerialLogSync,
 		BlockingCheckpoint: cfg.BlockingCheckpoint,
 		LockedEnquiries:    cfg.LockedEnquiries,
+		FullCheckpoints:    cfg.FullCheckpoints,
+		MaxDeltaChain:      cfg.MaxDeltaChain,
+		MaxDeltaRatio:      cfg.MaxDeltaRatio,
+		SerialCompaction:   cfg.SerialCompaction,
 		Obs:                cfg.Obs,
 		Tracer:             cfg.Tracer,
 	})

@@ -1,0 +1,48 @@
+package vfs
+
+import "testing"
+
+func TestCountingTallies(t *testing.T) {
+	c := NewCounting(NewMem(1))
+	f, err := c.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, 50), 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got := c.WriteBytes(); got != 150 {
+		t.Errorf("WriteBytes = %d, want 150", got)
+	}
+	if got := c.Syncs(); got != 1 {
+		t.Errorf("Syncs = %d, want 1", got)
+	}
+
+	r, err := c.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 40)
+	if _, err := r.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAt(buf[:20], 5); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if got := c.ReadBytes(); got != 60 {
+		t.Errorf("ReadBytes = %d, want 60", got)
+	}
+
+	c.Reset()
+	if c.ReadBytes() != 0 || c.WriteBytes() != 0 || c.Syncs() != 0 {
+		t.Errorf("Reset left counters at %d/%d/%d", c.ReadBytes(), c.WriteBytes(), c.Syncs())
+	}
+}
