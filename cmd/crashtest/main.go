@@ -16,6 +16,15 @@
 //	crashtest -net -seed 1 -ops 50                  # full partition sweep
 //	crashtest -net -net-crash -from 12 -to 12       # replay one point, with crash
 //
+// With -net -nodes N (N > 2), the pair generalizes to an N-node
+// quorum-commit replica group: each point partitions a seeded minority of
+// non-primary members, the window must still be acknowledged at the write
+// quorum (-quorum, default majority), -net-crash power-fails the point's
+// rotating victim — the primary included — at the heal point, and after
+// the heal every member must converge on the acked-prefix oracle.
+//
+//	crashtest -net -nodes 5 -quorum 3 -net-crash -seed 1 -ops 40
+//
 // A violation prints as a replayable (seed, point) pair; the exit status is
 // 1 when any invariant broke, 2 on a setup error.
 package main
@@ -53,15 +62,17 @@ func main() {
 		verbose   = flag.Bool("v", false, "log progress")
 
 		net      = flag.Bool("net", false, "run the partition sweep instead of the crash-point sweep")
-		netCrash = flag.Bool("net-crash", false, "with -net: also power-fail the acking node at the heal point")
+		netCrash = flag.Bool("net-crash", false, "with -net: also power-fail the acking node (or, with -nodes, the point's rotating victim) at the heal point")
 		window   = flag.Int("window", 5, "with -net: updates committed during each partition")
+		nodes    = flag.Int("nodes", 2, "with -net: replica group size; >2 sweeps an N-node quorum-commit group with a seeded minority partition per point")
+		quorum   = flag.Int("quorum", 0, "with -net -nodes N: write quorum W (0 = majority)")
 		drop     = flag.Float64("drop", 0.05, "with -net: per-message drop probability")
 		jitter   = flag.Duration("jitter", 200*time.Microsecond, "with -net: max added delivery delay")
 	)
 	flag.Parse()
 
 	if *net {
-		os.Exit(runNet(*seed, *ops, *window, int(*from), int(*to), int(*stride), *shards, *netCrash, *drop, *jitter, *verbose))
+		os.Exit(runNet(*seed, *ops, *window, *nodes, *quorum, int(*from), int(*to), int(*stride), *shards, *netCrash, *drop, *jitter, *verbose))
 	}
 
 	violations := 0
@@ -130,7 +141,7 @@ func main() {
 	}
 }
 
-func runNet(seed int64, ops, window, from, to, stride, shards int, crash bool, drop float64, jitter time.Duration, verbose bool) int {
+func runNet(seed int64, ops, window, nodes, quorum, from, to, stride, shards int, crash bool, drop float64, jitter time.Duration, verbose bool) int {
 	cfg := crashtest.NetConfig{
 		Seed:   seed,
 		Ops:    ops,
@@ -140,6 +151,8 @@ func runNet(seed int64, ops, window, from, to, stride, shards int, crash bool, d
 		Stride: stride,
 		Shards: shards,
 		Crash:  crash,
+		Nodes:  nodes,
+		Quorum: quorum,
 		Profile: netsim.Profile{
 			DropProb:     drop,
 			DelayProb:    0.2,
@@ -155,11 +168,20 @@ func runNet(seed int64, ops, window, from, to, stride, shards int, crash bool, d
 		fmt.Fprintln(os.Stderr, "crashtest:", err)
 		return 2
 	}
-	fmt.Printf("mode=net     seed=%d ops=%d window=%d crash=%v partition-points=%d violations=%d\n",
-		res.Seed, res.Ops, res.Window, crash, res.Points, len(res.Violations))
+	if nodes < 2 {
+		nodes = 2
+	}
+	fmt.Printf("mode=net     seed=%d ops=%d window=%d nodes=%d crash=%v partition-points=%d violations=%d\n",
+		res.Seed, res.Ops, res.Window, nodes, crash, res.Points, len(res.Violations))
 	extra := ""
 	if crash {
 		extra = " -net-crash"
+	}
+	if nodes > 2 {
+		extra += fmt.Sprintf(" -nodes %d", nodes)
+		if quorum > 0 {
+			extra += fmt.Sprintf(" -quorum %d", quorum)
+		}
 	}
 	for _, v := range res.Violations {
 		fmt.Printf("VIOLATION %s\n", v)

@@ -9,6 +9,13 @@
 //	nsctl -addr localhost:7001 enumerate net
 //	nsctl -addr localhost:7001 delete net/hosts/gva
 //	nsctl -addr localhost:7001 trace net/hosts/gva 16.4.0.1
+//	nsctl -addr localhost:7002 read net/hosts/gva 1042
+//
+// The read command is the bounded-staleness enquiry against any replica
+// group member: it carries a minimum durable frontier (typically the
+// frontier a previous read reported), the member catches up or refuses if
+// it cannot serve at that floor, and the reply names the frontier actually
+// served — feed it to the next read for monotonic reads across members.
 //
 // The trace command issues one traced set and prints the server-side
 // commit timeline for it — lock wait, pickle, log append and sync, and
@@ -19,9 +26,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"smalldb/internal/nameserver"
 	"smalldb/internal/obs"
+	"smalldb/internal/replica"
 	"smalldb/internal/rpc"
 )
 
@@ -34,6 +43,10 @@ commands:
   delete <name>            remove name and its subtree
   list <name>              print the child labels under name
   enumerate <name>         print every name=value at or below name
+  read <name> [min-seq]    bounded-staleness read from a replica group
+                           member: serve name at durable frontier
+                           >= min-seq or fail stale; prints the value
+                           and the frontier served
   trace <name> [value]     set name (to value, or back to its current
                            value) under a fresh trace and print the
                            server's commit timeline for it
@@ -92,6 +105,23 @@ func main() {
 		for i, n := range reply.Names {
 			fmt.Printf("%s=%s\n", n, reply.Values[i])
 		}
+	case "read":
+		if len(rest) != 1 && len(rest) != 2 {
+			usage()
+		}
+		var minSeq uint64
+		if len(rest) == 2 {
+			var err error
+			if minSeq, err = strconv.ParseUint(rest[1], 10, 64); err != nil {
+				fatal("read: bad min-seq %q: %v", rest[1], err)
+			}
+		}
+		var reply replica.ReadReply
+		if err := client.Call("Replica.Read", &replica.ReadArgs{Name: rest[0], MinSeq: minSeq}, &reply); err != nil {
+			fatal("read: %v", err)
+		}
+		fmt.Println(reply.Value)
+		fmt.Fprintf(os.Stderr, "nsctl: frontier %d served by %s\n", reply.Frontier, reply.Node)
 	case "trace":
 		if len(rest) != 1 && len(rest) != 2 {
 			usage()

@@ -8,10 +8,19 @@
 //	nsd -dir /var/lib/nsd -listen :7001
 //	nsd -dir /var/lib/nsd2 -listen :7002 -name beta -peers alpha=localhost:7001
 //	nsd -dir /var/lib/nsd -listen :7001 -debug :7070 -slow 50ms
+//	nsd -dir /var/lib/nsd1 -listen :7001 -name alpha -quorum 2 \
+//	    -peers beta=localhost:7002,gamma=localhost:7003
 //
 // Without -name, the daemon runs unreplicated and serves the "NS" service.
 // With -name, it additionally serves the "Replica" service, pushes updates
 // to its peers, and runs anti-entropy every -anti-entropy interval.
+//
+// With -quorum W (requires -name and -peers), the daemon instead runs as
+// the primary of an N-way replica group: every NS.Set/Delete is
+// acknowledged only once W members (itself included) have it durably, with
+// laggards repaired by the group's background anti-entropy. W=0 on a peer
+// daemon leaves it a plain replica member serving quorum pushes and
+// bounded-staleness Replica.Read enquiries (see nsctl read).
 //
 // With -debug, the daemon serves a live observability endpoint: /metrics
 // (JSON counters and histogram percentiles), /stats (human-readable, with
@@ -45,6 +54,7 @@ func main() {
 		listen      = flag.String("listen", ":7001", "RPC listen address")
 		name        = flag.String("name", "", "replica name; enables replication")
 		peers       = flag.String("peers", "", "comma-separated name=addr peer list")
+		quorum      = flag.Int("quorum", 0, "write quorum; >0 runs this daemon as a replica-group primary committing at W members")
 		checkpoint  = flag.Duration("checkpoint", 24*time.Hour, "checkpoint interval (the paper's nightly checkpoint)")
 		antiEntropy = flag.Duration("anti-entropy", time.Minute, "anti-entropy interval (replicated mode)")
 		retain      = flag.Int("retain", 1, "previous checkpoint+log pairs kept for hard-error recovery")
@@ -110,24 +120,59 @@ func main() {
 		if err := srv.Register("Replica", replica.NewService(node)); err != nil {
 			log.Fatalf("nsd: %v", err)
 		}
-		if err := srv.Register("NS", replica.NewNSService(node)); err != nil {
-			log.Fatalf("nsd: %v", err)
-		}
-		for _, spec := range splitPeers(*peers) {
-			pname, addr, ok := strings.Cut(spec, "=")
-			if !ok {
-				log.Fatalf("nsd: bad -peers entry %q (want name=addr)", spec)
+		if *quorum > 0 {
+			// Replica-group primary: NS updates quorum-commit through the
+			// group; the group owns push streams and anti-entropy repair.
+			gcfg, err := replica.ParseGroupSpec(*name, *peers, *quorum)
+			if err != nil {
+				log.Fatalf("nsd: group config: %v", err)
 			}
-			// Lazy reconnecting client: the peer need not be up yet, and
-			// a peer restart just redials on the next push or
-			// anti-entropy round.
-			client := rpc.DialRetry(addr)
-			client.Instrument(reg)
-			node.AddPeer(pname, client)
+			gcfg.AntiEntropyEvery = *antiEntropy
+			gcfg.Obs = reg
+			gcfg.Tracer = tracer
+			group, err := replica.NewGroup(node, gcfg)
+			if err != nil {
+				log.Fatalf("nsd: group: %v", err)
+			}
+			for _, m := range gcfg.Members {
+				if m.Name == *name {
+					continue
+				}
+				// Lazy reconnecting client: a member need not be up yet,
+				// and a member restart just redials on the next push or
+				// repair round.
+				client := rpc.DialRetry(m.Addr)
+				client.Instrument(reg)
+				if err := group.Connect(m.Name, client); err != nil {
+					log.Fatalf("nsd: connect %s: %v", m.Name, err)
+				}
+			}
+			if err := srv.Register("NS", replica.NewGroupNSService(group)); err != nil {
+				log.Fatalf("nsd: %v", err)
+			}
+			closer = multiCloser{group, node}
+			log.Printf("nsd: serving %s as group primary %q (N=%d, W=%d) on %s",
+				*dir, *name, len(gcfg.Members), group.W(), *listen)
+		} else {
+			if err := srv.Register("NS", replica.NewNSService(node)); err != nil {
+				log.Fatalf("nsd: %v", err)
+			}
+			for _, spec := range splitPeers(*peers) {
+				pname, addr, ok := strings.Cut(spec, "=")
+				if !ok {
+					log.Fatalf("nsd: bad -peers entry %q (want name=addr)", spec)
+				}
+				// Lazy reconnecting client: the peer need not be up yet, and
+				// a peer restart just redials on the next push or
+				// anti-entropy round.
+				client := rpc.DialRetry(addr)
+				client.Instrument(reg)
+				node.AddPeer(pname, client)
+			}
+			node.AntiEntropyEvery(*antiEntropy)
+			closer = node
+			log.Printf("nsd: serving %s as replica %q on %s", *dir, *name, *listen)
 		}
-		node.AntiEntropyEvery(*antiEntropy)
-		closer = node
-		log.Printf("nsd: serving %s as replica %q on %s", *dir, *name, *listen)
 	}
 
 	var admin *obs.AdminServer
@@ -161,6 +206,19 @@ func main() {
 	if err := flight.Close(); err != nil {
 		log.Printf("nsd: flight close: %v", err)
 	}
+}
+
+// multiCloser shuts components down in order, keeping the first error.
+type multiCloser []interface{ Close() error }
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func splitPeers(s string) []string {

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestQuorumCommitSection smoke-runs the quorum_commit bench section and
+// prints the numbers the CI gate reads, so the section's health is
+// checkable without the full metrics workload.
+func TestQuorumCommitSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench section; run without -short")
+	}
+	out, err := quorumCommitJSON(1987, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("majority_p99_ns=%v pair_p99_ns=%v ratio=%.2f",
+		out["majority_p99_ns"], out["pair_p99_ns"], out["majority_vs_pair_p99"])
+	if out["majority_p99_ns"].(int64) <= 0 {
+		t.Fatal("empty majority latency summary")
+	}
+}

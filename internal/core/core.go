@@ -2197,6 +2197,23 @@ func (s *Store) AppliedSeq() uint64 {
 	return s.applied
 }
 
+// DurableSeq reports the sequence number of the last update known durable
+// on this store — the staleness bound a bounded-staleness read may quote.
+// On a versioned store this is the published version's sequence (deferred
+// publication guarantees published ≤ durable frontier); otherwise it falls
+// back to the applied sequence, which the synchronous commit path only
+// advances after the log sync.
+func (s *Store) DurableSeq() uint64 {
+	if s.versioned {
+		if v := s.vs.pub.Load(); v != nil {
+			return v.seq
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}
+
 // Close flushes and closes the log. It does not checkpoint; call
 // Checkpoint first if a fast next restart is wanted.
 func (s *Store) Close() error {

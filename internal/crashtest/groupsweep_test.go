@@ -1,0 +1,73 @@
+package crashtest
+
+import (
+	"testing"
+)
+
+// TestGroupSweepBoundedSlice runs a bounded slice of the N-node group
+// sweep: 3 nodes, majority quorum, a seeded minority partition per point.
+func TestGroupSweepBoundedSlice(t *testing.T) {
+	res, err := RunNet(NetConfig{
+		Seed:    1,
+		Ops:     16,
+		Window:  3,
+		From:    0,
+		To:      6,
+		Stride:  2,
+		Nodes:   3,
+		Profile: hostileProfile,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points == 0 {
+		t.Fatal("sweep replayed no points")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestGroupSweepFiveNodesWithCrash composes the 5-node minority partition
+// with a rotating member power failure — including the primary at point 0
+// — at W=3.
+func TestGroupSweepFiveNodesWithCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded but heavy; covered in full by cmd/crashtest -nodes 5")
+	}
+	res, err := RunNet(NetConfig{
+		Seed:    2,
+		Ops:     14,
+		Window:  3,
+		From:    0,
+		To:      6,
+		Stride:  3,
+		Nodes:   5,
+		Quorum:  3,
+		Crash:   true,
+		Profile: hostileProfile,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points == 0 {
+		t.Fatal("sweep replayed no points")
+	}
+	for _, v := range res.Violations {
+		t.Errorf("%s", v)
+	}
+}
+
+// TestGroupSweepRejectsSuperMajorityQuorum documents the harness contract:
+// a quorum the minority partition could starve is a config error, not a
+// sweep full of availability violations.
+func TestGroupSweepRejectsSuperMajorityQuorum(t *testing.T) {
+	if _, err := RunNet(NetConfig{Seed: 1, Ops: 8, Window: 2, Nodes: 5, Quorum: 4}); err == nil {
+		t.Fatal("W=4 of 5 accepted; a 2-node minority partition would starve it")
+	}
+	if _, err := RunNet(NetConfig{Seed: 1, Ops: 8, Window: 2, Nodes: 3, Quorum: 9}); err == nil {
+		t.Fatal("W>N accepted")
+	}
+}

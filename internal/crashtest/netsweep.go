@@ -47,6 +47,19 @@ type NetConfig struct {
 	// Crash also power-fails node "a" at the heal point: the acked-in-
 	// partition updates must survive the partition plus the crash.
 	Crash bool
+	// Nodes generalizes the sweep from the hardwired pair to an N-node
+	// quorum-commit group (replica.Group). 0 and 2 run the classic pair;
+	// N > 2 runs the group sweep: updates commit through the group at
+	// write quorum Quorum, each point partitions a seeded minority of
+	// non-primary members away from the rest, and — with Crash — the
+	// point's rotating victim (point mod N; 0 is the primary) power-fails
+	// at the heal point. Quorum-acked updates must survive all of it.
+	Nodes int
+	// Quorum is the group sweep's write quorum W (0 = majority). The
+	// sweep guarantees availability through any minority partition, so W
+	// may not exceed the majority — a larger W could not ack the window
+	// while the minority is unreachable.
+	Quorum int
 	// Profile is the network weather for the whole run — drops, delays,
 	// flaky dials. Retries must absorb it; the sweep clears the weather
 	// only for the final convergence check.
@@ -100,10 +113,17 @@ func RunNet(cfg NetConfig) (*NetResult, error) {
 		points = append(points, p)
 	}
 
-	r := &netRunner{cfg: cfg, plan: makePlan(cfg.Seed, cfg.Ops)}
+	pointFn := (&netRunner{cfg: cfg, plan: makePlan(cfg.Seed, cfg.Ops)}).point
+	if cfg.Nodes > 2 {
+		gr, err := newGroupRunner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pointFn = gr.point
+	}
 	if cfg.Logf != nil {
-		cfg.Logf("crashtest: mode=net seed=%d ops=%d window=%d crash=%v points=%d shards=%d",
-			cfg.Seed, cfg.Ops, cfg.Window, cfg.Crash, len(points), cfg.Shards)
+		cfg.Logf("crashtest: mode=net seed=%d ops=%d window=%d crash=%v nodes=%d quorum=%d points=%d shards=%d",
+			cfg.Seed, cfg.Ops, cfg.Window, cfg.Crash, max(cfg.Nodes, 2), cfg.Quorum, len(points), cfg.Shards)
 	}
 
 	res := &NetResult{Seed: cfg.Seed, Ops: cfg.Ops, Window: cfg.Window, Points: len(points)}
@@ -123,7 +143,7 @@ func RunNet(cfg NetConfig) (*NetResult, error) {
 				if i >= int64(len(points)) {
 					return
 				}
-				vs := r.point(points[i])
+				vs := pointFn(points[i])
 				if len(vs) > 0 {
 					mu.Lock()
 					res.Violations = append(res.Violations, vs...)

@@ -1,0 +1,200 @@
+// Bounded-staleness checking for secondary reads in a replica group.
+//
+// A quorum-commit group serves enquiries from any member, so a read may
+// lag the writer — but never incoherently. The contract RunBounded checks
+// has three clauses:
+//
+//  1. Frontier witness: a read answering at durable frontier s reflects
+//     exactly the writer prefix of length s − base. The writer's op i
+//     deterministically sets key (i mod Keys) to a value encoding i, so
+//     the expected value of any key at any frontier has a closed form —
+//     a member that answered at frontier s while missing an update with
+//     seq ≤ s produces a value the model rejects on the spot.
+//  2. Per-reader monotonicity across failover: each reader carries its
+//     last observed frontier as the MinSeq floor of its next read, even
+//     as it rotates across members. A member below the floor must refuse
+//     (ErrStale) — the reader redirects — so a reader never observes time
+//     moving backwards no matter which members fail over under it. Since
+//     member frontiers only grow and some member served the floor, a full
+//     rotation must find a member that can answer; failing to is itself a
+//     violation.
+//  3. No reads from the future: a frontier never exceeds the number of
+//     writer ops issued.
+//
+// There is deliberately no real-time lower bound — that relaxation is
+// what "bounded staleness" means; the staleness a run actually served is
+// reported in the stats instead.
+package lintest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"smalldb/internal/nameserver"
+	"smalldb/internal/replica"
+)
+
+// BoundedMember is one replica endpoint a bounded reader may query.
+// *replica.Node implements it.
+type BoundedMember interface {
+	Name() string
+	ReadAt(name string, minSeq uint64) (value string, frontier uint64, err error)
+}
+
+// BoundedStats reports what a RunBounded exercised.
+type BoundedStats struct {
+	Ops       uint64 // writer updates committed
+	Reads     uint64 // bounded reads validated
+	Redirects uint64 // stale refusals that sent a reader to another member
+	Stale     uint64 // reads served behind the writer's completed count
+	MaxLag    uint64 // worst staleness served (completed − frontier)
+}
+
+// RunBounded drives one writer (write, called Ops times with the harness's
+// names) against Readers concurrent bounded-staleness readers rotating
+// over members, validating every read against the closed-form model at its
+// reported frontier. All members must start at a common frontier with the
+// Prefix subtree unwritten and receive no other updates while the run is
+// active; write must be the only writer and must target the group those
+// members belong to.
+func RunBounded(write func(name, value string) error, members []BoundedMember, cfg Config) (BoundedStats, error) {
+	cfg.defaults()
+	if len(members) == 0 {
+		return BoundedStats{}, fmt.Errorf("lintest: no members")
+	}
+	names := make([]string, cfg.Keys)
+	for c := range names {
+		names[c] = cfg.Prefix + "/k" + strconv.Itoa(c)
+	}
+
+	// Base frontier: all members must agree before the writer starts, and
+	// the harness subtree must not exist anywhere.
+	var base uint64
+	for i, m := range members {
+		_, f, err := m.ReadAt(names[0], 0)
+		switch {
+		case err == nil:
+			return BoundedStats{}, fmt.Errorf("lintest: subtree %q already exists on member %s", cfg.Prefix, m.Name())
+		case !errors.Is(err, nameserver.ErrNotFound) && !errors.Is(err, nameserver.ErrNoValue):
+			return BoundedStats{}, fmt.Errorf("lintest: probing member %s: %w", m.Name(), err)
+		}
+		if i == 0 {
+			base = f
+		} else if f != base {
+			return BoundedStats{}, fmt.Errorf("lintest: members start at divergent frontiers (%d vs %d); converge them first", f, base)
+		}
+	}
+
+	var started, completed atomic.Uint64
+	var stop atomic.Bool
+	var stats BoundedStats
+	var reads, redirects, stale, maxLag atomic.Uint64
+	errs := make(chan error, cfg.Readers)
+
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lastSeen := base // the reader's MinSeq floor, ratcheted by every read
+			c := r % cfg.Keys
+			rotate := r // member rotation offset: readers spread over members
+			for first := true; first || !stop.Load(); first = false {
+				c = (c + 1) % cfg.Keys
+				loCompleted := completed.Load()
+				var v string
+				var s uint64
+				var err error
+				served := -1
+				for attempt := 0; attempt <= len(members); attempt++ {
+					if attempt == len(members) {
+						// Clause 2's progress half: some member served
+						// lastSeen and frontiers only grow, so a full
+						// rotation finding nobody is a frontier regression.
+						errs <- fmt.Errorf("lintest: reader %d: no member can serve floor %d (frontier regressed?)", r, lastSeen)
+						return
+					}
+					m := members[(rotate+attempt)%len(members)]
+					v, s, err = m.ReadAt(names[c], lastSeen)
+					if replica.IsStale(err) {
+						redirects.Add(1)
+						continue
+					}
+					served = (rotate + attempt) % len(members)
+					break
+				}
+				rotate = served + 1 // next read starts from the next member over
+				hi := started.Load()
+				if s < lastSeen {
+					errs <- fmt.Errorf("lintest: reader %d went backwards: frontier %d after floor %d (member %s)", r, s, lastSeen, members[served].Name())
+					return
+				}
+				lastSeen = s
+				if s < base || s-base > hi {
+					errs <- fmt.Errorf("lintest: reader %d read from the future: frontier %d with only %d ops issued", r, s, hi)
+					return
+				}
+				j := s - base
+				want := lastWrite(j, c, cfg.Keys)
+				switch {
+				case err == nil:
+					if want == 0 {
+						errs <- fmt.Errorf("lintest: at frontier %d key %d should be unwritten, member %s holds %q", j, c, members[served].Name(), v)
+						return
+					}
+					if v != valueAt(want) {
+						errs <- fmt.Errorf("lintest: frontier witness broken: at frontier %d key %d should hold %q, member %s answered %q", j, c, valueAt(want), members[served].Name(), v)
+						return
+					}
+				case errors.Is(err, nameserver.ErrNotFound), errors.Is(err, nameserver.ErrNoValue):
+					if want != 0 {
+						errs <- fmt.Errorf("lintest: frontier witness broken: at frontier %d key %d should hold %q, member %s missed it", j, c, valueAt(want), members[served].Name())
+						return
+					}
+				default:
+					errs <- fmt.Errorf("lintest: reader %d on member %s: %w", r, members[served].Name(), err)
+					return
+				}
+				reads.Add(1)
+				if j < loCompleted {
+					stale.Add(1)
+					if lag := loCompleted - j; lag > maxLag.Load() {
+						maxLag.Store(lag) // racy max: a lower bound, good enough for stats
+					}
+				}
+				runtime.Gosched()
+			}
+		}(r)
+	}
+
+	var werr error
+	for i := uint64(1); i <= uint64(cfg.Ops); i++ {
+		started.Store(i)
+		if werr = write(names[i%uint64(cfg.Keys)], valueAt(i)); werr != nil {
+			break
+		}
+		completed.Store(i)
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	if werr != nil {
+		return BoundedStats{}, fmt.Errorf("lintest: writer op %d: %w", started.Load(), werr)
+	}
+	for err := range errs {
+		if err != nil {
+			return BoundedStats{}, err
+		}
+	}
+	stats.Ops = completed.Load()
+	stats.Reads = reads.Load()
+	stats.Redirects = redirects.Load()
+	stats.Stale = stale.Load()
+	stats.MaxLag = maxLag.Load()
+	return stats, nil
+}

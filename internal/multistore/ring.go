@@ -1,0 +1,143 @@
+// Consistent-hash routing of a flat key space across replica groups — the
+// horizontal-scaling layer over the multistore: each group is one
+// partition of a Set, and a Ring decides which group owns which key. The
+// ring is the classic virtual-node construction, so adding or removing a
+// group moves only ~1/N of the keys (every moved key moves to or from the
+// changed group) instead of reshuffling everything the way a modulo table
+// would.
+
+package multistore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ErrNoGroups marks a ring or shard set with an empty group list.
+var ErrNoGroups = errors.New("multistore: no groups")
+
+// ErrUnknownGroup marks a routing or rebalance target that is not a group.
+var ErrUnknownGroup = errors.New("multistore: unknown group")
+
+// DefaultVNodes is the virtual-node count per group when none is
+// configured; 64 keeps the per-group load imbalance in the few-percent
+// range without making ring edits noticeable.
+const DefaultVNodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash  uint64
+	group string
+}
+
+// Ring maps keys to groups by consistent hashing. A Ring is a pure value:
+// it is not safe for concurrent mutation (Shards adds the locking), and
+// two rings built from the same group set — in any insertion order — route
+// every key identically.
+type Ring struct {
+	vnodes int
+	groups map[string]bool
+	points []ringPoint // sorted by (hash, group)
+}
+
+// NewRing builds a ring with vnodes virtual nodes per group (0 =
+// DefaultVNodes).
+func NewRing(vnodes int, groups ...string) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{vnodes: vnodes, groups: make(map[string]bool, len(groups))}
+	for _, g := range groups {
+		if err := r.Add(g); err != nil {
+			return nil, err
+		}
+	}
+	if len(r.groups) == 0 {
+		return nil, ErrNoGroups
+	}
+	return r, nil
+}
+
+// fnvKey hashes a routing key.
+func fnvKey(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Add places a group's virtual nodes on the circle.
+func (r *Ring) Add(group string) error {
+	if group == "" {
+		return fmt.Errorf("%w: empty name", ErrUnknownGroup)
+	}
+	if r.groups[group] {
+		return fmt.Errorf("multistore: group %q already on the ring", group)
+	}
+	r.groups[group] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: fnvKey(group + "#" + strconv.Itoa(i)), group: group})
+	}
+	r.sortPoints()
+	return nil
+}
+
+// Remove takes a group's virtual nodes off the circle; its keys fall to
+// their clockwise successors. The last group cannot be removed.
+func (r *Ring) Remove(group string) error {
+	if !r.groups[group] {
+		return fmt.Errorf("%w: %q", ErrUnknownGroup, group)
+	}
+	if len(r.groups) == 1 {
+		return fmt.Errorf("%w: removing last group %q", ErrNoGroups, group)
+	}
+	delete(r.groups, group)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.group != group {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].group < r.points[j].group
+	})
+}
+
+// Owner returns the group owning key: the first virtual node clockwise
+// from the key's hash.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := fnvKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].group
+}
+
+// Groups lists the ring's groups, sorted.
+func (r *Ring) Groups() []string {
+	out := make([]string, 0, len(r.groups))
+	for g := range r.groups {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether group is on the ring.
+func (r *Ring) Has(group string) bool { return r.groups[group] }

@@ -3,6 +3,7 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -323,6 +324,56 @@ func (n *Node) ApplyBatch(inners []core.Update) error {
 	return batchErr
 }
 
+// commitLocal commits a batch of inner updates locally — stamping each
+// with this node's consecutive sequence numbers — without pushing to any
+// peer. It returns the committed entries; on a batch error the applied
+// prefix is returned alongside the error (core.Store.ApplyBatch prefix
+// semantics). Group mode uses it as the first half of quorum commit: the
+// group's per-member push streams take propagation from there.
+func (n *Node) commitLocal(inners []core.Update, sc obs.SpanContext) ([]Entry, error) {
+	if len(inners) == 0 {
+		return nil, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var seq, stamp uint64
+	err := n.store.View(func(root any) error {
+		r, err := rootOf(root)
+		if err != nil {
+			return err
+		}
+		seq = r.Vector[n.name]
+		stamp = r.Clock
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, len(inners))
+	for i, inner := range inners {
+		entries[i] = Entry{Origin: n.name, Seq: seq + uint64(i) + 1, Stamp: stamp + uint64(i) + 1, Inner: inner}
+	}
+	if len(inners) == 1 {
+		if err := n.store.ApplyTraced(&Replicated{Origin: n.name, Seq: entries[0].Seq, Stamp: entries[0].Stamp, Inner: inners[0]}, sc); err != nil {
+			return nil, err
+		}
+		return entries, nil
+	}
+	us := make([]core.Update, len(inners))
+	for i := range inners {
+		us[i] = &Replicated{Origin: n.name, Seq: entries[i].Seq, Stamp: entries[i].Stamp, Inner: inners[i]}
+	}
+	batchErr := n.store.ApplyBatch(us)
+	committedN := len(entries)
+	if batchErr != nil {
+		committedN = int(mustVectorSeq(n.store, n.name) - seq)
+		if committedN < 0 {
+			committedN = 0
+		}
+	}
+	return entries[:committedN], batchErr
+}
+
 // mustVectorSeq reads the node's own vector entry, 0 on any error (the
 // caller is already on an error path).
 func mustVectorSeq(st *core.Store, name string) uint64 {
@@ -404,6 +455,86 @@ func lookupTree(t *nameserver.Tree, parts []string) (string, error) {
 		return "", nameserver.ErrNoValue
 	}
 	return n.Value, nil
+}
+
+// ErrStale marks a bounded-staleness read served by a member whose durable
+// frontier has not yet reached the caller's MinSeq floor; the caller should
+// catch the member up or redirect to a fresher one.
+var ErrStale = errors.New("replica: member frontier below requested MinSeq")
+
+// IsStale reports whether err marks a stale bounded-staleness read. Typed
+// errors do not survive the RPC wire (a remote handler error arrives as a
+// string-form ServerError), so this matches both the local sentinel and
+// its wire form.
+func IsStale(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrStale) || strings.Contains(err.Error(), "member frontier below requested MinSeq")
+}
+
+// Frontier reports the node's durable read frontier: the sum of its version
+// vector as of the latest published (durability-bounded) snapshot. The sum
+// is monotone — every apply raises exactly one slot by one — and in the
+// single-writer case equals the origin's sequence number; it is the seq a
+// bounded-staleness read quotes as "this read reflects everything up to s".
+func (n *Node) Frontier() (uint64, error) {
+	_, f, err := n.readSnapshot(nil)
+	return f, err
+}
+
+// ReadAt serves a bounded-staleness enquiry from this member: it reads name
+// from the latest published snapshot and reports the durable frontier seq
+// the read reflects. If that frontier is below minSeq the read fails with
+// ErrStale (wrapping the observed frontier in its message) and no value —
+// the caller catches this member up or redirects.
+func (n *Node) ReadAt(name string, minSeq uint64) (value string, frontier uint64, err error) {
+	parts, err := nameserver.SplitPath(name)
+	if err != nil {
+		return "", 0, err
+	}
+	var v string
+	var lerr error
+	_, frontier, err = n.readSnapshot(func(r *Root) {
+		v, lerr = lookupTree(r.Tree, parts)
+	})
+	if err != nil {
+		return "", 0, err
+	}
+	if frontier < minSeq {
+		return "", frontier, fmt.Errorf("%w: frontier %d < %d", ErrStale, frontier, minSeq)
+	}
+	return v, frontier, lerr
+}
+
+// readSnapshot runs fn against a consistent root view and returns the
+// durable frontier that view reflects. It prefers the lock-free published
+// snapshot (whose seq is bounded by the durable frontier); stores without
+// versioned roots fall back to a locked View.
+func (n *Node) readSnapshot(fn func(r *Root)) (seq uint64, frontier uint64, err error) {
+	if sn, serr := n.store.SnapshotAt(); serr == nil {
+		defer sn.Release()
+		r, rerr := rootOf(sn.Root())
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		if fn != nil {
+			fn(r)
+		}
+		return sn.Seq(), vectorSum(r.Vector), nil
+	}
+	err = n.store.View(func(root any) error {
+		r, rerr := rootOf(root)
+		if rerr != nil {
+			return rerr
+		}
+		frontier = vectorSum(r.Vector)
+		if fn != nil {
+			fn(r)
+		}
+		return nil
+	})
+	return frontier, frontier, err
 }
 
 // Vector snapshots this node's version vector.
@@ -630,11 +761,16 @@ type PushArgs struct {
 
 // PushReply reports how many entries were newly applied, which node
 // applied them, and how long the remote apply took — the origin echoes
-// Node/ApplyNS into its trace as the remote half of the push.
+// Node/ApplyNS into its trace as the remote half of the push. Seq is the
+// member's post-apply vector slot for the pushed origin: quorum commit
+// counts an ack only when Seq covers the pushed entries, because a push
+// that races ahead of its predecessors is silently skipped as a sequence
+// gap (applied = 0, no error) and must not count.
 type PushReply struct {
 	Applied int
 	Node    string
 	ApplyNS int64
+	Seq     uint64
 }
 
 // Push applies propagated updates. It takes the rpc layer's span context,
@@ -646,6 +782,15 @@ func (s *Service) Push(args *PushArgs, reply *PushReply, sc obs.SpanContext) err
 	reply.Applied = applied
 	reply.Node = s.node.name
 	reply.ApplyNS = int64(time.Since(start))
+	if len(args.Entries) > 0 {
+		origin := args.Entries[len(args.Entries)-1].Origin
+		_ = s.node.store.View(func(root any) error {
+			if r, rerr := rootOf(root); rerr == nil {
+				reply.Seq = r.Vector[origin]
+			}
+			return nil
+		})
+	}
 	return err
 }
 
@@ -702,6 +847,99 @@ func (s *Service) Snapshot(args *SnapshotArgs, reply *SnapshotReply) error {
 	})
 }
 
+// VectorArgs requests a member's version vector.
+type VectorArgs struct{}
+
+// VectorReply carries the member's version vector and durable frontier.
+type VectorReply struct {
+	Vector   map[string]uint64
+	Frontier uint64
+	Node     string
+}
+
+// Vector reports this member's version vector — the group primary's
+// anti-entropy loop uses it to compute the missing suffix to push.
+func (s *Service) Vector(args *VectorArgs, reply *VectorReply) error {
+	vec, err := s.node.Vector()
+	if err != nil {
+		return err
+	}
+	reply.Vector = vec
+	reply.Frontier = vectorSum(vec)
+	reply.Node = s.node.name
+	return nil
+}
+
+// InstallArgs carries a full snapshot pushed to a member whose lag has
+// outrun the history — the push-style dual of Snapshot/RestoreFromPeer.
+type InstallArgs struct {
+	Root *Root
+}
+
+// InstallReply acknowledges a snapshot install.
+type InstallReply struct {
+	Node     string
+	Frontier uint64
+}
+
+// Install replaces this member's state with the pushed snapshot.
+func (s *Service) Install(args *InstallArgs, reply *InstallReply) error {
+	if err := s.node.installSnapshot(args.Root); err != nil {
+		return err
+	}
+	reply.Node = s.node.name
+	if vec, err := s.node.Vector(); err == nil {
+		reply.Frontier = vectorSum(vec)
+	}
+	return nil
+}
+
+// ReadArgs is a bounded-staleness enquiry: the member may answer from its
+// own durable frontier as long as that frontier is at least MinSeq.
+type ReadArgs struct {
+	Name   string
+	MinSeq uint64
+}
+
+// ReadReply carries the value and the durable frontier seq the read
+// reflects — the staleness witness a client uses to ratchet MinSeq.
+type ReadReply struct {
+	Value    string
+	Frontier uint64
+	Node     string
+}
+
+// Read serves a bounded-staleness enquiry. A member behind the MinSeq
+// floor first tries to catch itself up with one anti-entropy round against
+// each of its peers; if still behind it fails with ErrStale (in wire form —
+// match with IsStale) so the client can redirect to a fresher member.
+func (s *Service) Read(args *ReadArgs, reply *ReadReply) error {
+	v, frontier, err := s.node.ReadAt(args.Name, args.MinSeq)
+	if IsStale(err) {
+		s.node.mu.Lock()
+		peers := make([]*rpc.Client, 0, len(s.node.peers))
+		for _, p := range s.node.peers {
+			peers = append(peers, p)
+		}
+		s.node.mu.Unlock()
+		for _, p := range peers {
+			if s.node.SyncWith(p) != nil {
+				continue
+			}
+			if v, frontier, err = s.node.ReadAt(args.Name, args.MinSeq); !IsStale(err) {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	reply.Value = v
+	reply.Frontier = frontier
+	reply.Node = s.node.name
+	return nil
+}
+
 func init() {
 	pickle.Register(&PushArgs{})
 	pickle.Register(&PushReply{})
@@ -709,4 +947,10 @@ func init() {
 	pickle.Register(&PullReply{})
 	pickle.Register(&SnapshotArgs{})
 	pickle.Register(&SnapshotReply{})
+	pickle.Register(&VectorArgs{})
+	pickle.Register(&VectorReply{})
+	pickle.Register(&InstallArgs{})
+	pickle.Register(&InstallReply{})
+	pickle.Register(&ReadArgs{})
+	pickle.Register(&ReadReply{})
 }

@@ -34,3 +34,31 @@ func (s *NSService) Set(args *nameserver.SetArgs, reply *nameserver.SetReply, sc
 func (s *NSService) Delete(args *nameserver.DeleteArgs, reply *nameserver.DeleteReply, sc obs.SpanContext) error {
 	return s.node.DeleteTraced(args.Name, sc)
 }
+
+// GroupNSService is the NS RPC face of a quorum-commit group member:
+// updates ack at the group's write quorum instead of after the lone local
+// commit; enquiries still answer from the local member (use the Replica
+// service's Read for bounded-staleness enquiries with a MinSeq floor).
+type GroupNSService struct {
+	group *Group
+}
+
+// NewGroupNSService returns the NS-compatible RPC service for a group.
+func NewGroupNSService(g *Group) *GroupNSService { return &GroupNSService{group: g} }
+
+// Lookup serves the remote enquiry from the local member.
+func (s *GroupNSService) Lookup(args *nameserver.LookupArgs, reply *nameserver.LookupReply) error {
+	v, err := s.group.Node().Lookup(args.Name)
+	reply.Value = v
+	return err
+}
+
+// Set serves the remote update at quorum.
+func (s *GroupNSService) Set(args *nameserver.SetArgs, reply *nameserver.SetReply, sc obs.SpanContext) error {
+	return s.group.SetTraced(args.Name, args.Value, sc)
+}
+
+// Delete serves the remote delete at quorum.
+func (s *GroupNSService) Delete(args *nameserver.DeleteArgs, reply *nameserver.DeleteReply, sc obs.SpanContext) error {
+	return s.group.DeleteTraced(args.Name, sc)
+}
