@@ -120,6 +120,9 @@ func main() {
 		if err := client.Call("Replica.Read", &replica.ReadArgs{Name: rest[0], MinSeq: minSeq}, &reply); err != nil {
 			fatal("read: %v", err)
 		}
+		if reply.Stale {
+			fatal("read: stale: member %s frontier %d below min-seq %d; retry against a fresher member", reply.Node, reply.Frontier, minSeq)
+		}
 		fmt.Println(reply.Value)
 		fmt.Fprintf(os.Stderr, "nsctl: frontier %d served by %s\n", reply.Frontier, reply.Node)
 	case "trace":

@@ -20,7 +20,9 @@
 // acknowledged only once W members (itself included) have it durably, with
 // laggards repaired by the group's background anti-entropy. W=0 on a peer
 // daemon leaves it a plain replica member serving quorum pushes and
-// bounded-staleness Replica.Read enquiries (see nsctl read).
+// bounded-staleness Replica.Read enquiries (see nsctl read); give each
+// peer a -peers list of its fellow members so a Read behind the client's
+// floor can catch itself up in place instead of redirecting.
 //
 // With -debug, the daemon serves a live observability endpoint: /metrics
 // (JSON counters and histogram percentiles), /stats (human-readable, with
@@ -146,6 +148,12 @@ func main() {
 				if err := group.Connect(m.Name, client); err != nil {
 					log.Fatalf("nsd: connect %s: %v", m.Name, err)
 				}
+				// Also expose the member as a node peer so Replica.Read's
+				// server-side catch-up (SyncWith) can repair a stale read
+				// in place instead of always redirecting. The client is
+				// shared with the group's push stream; Close is
+				// idempotent, so the double ownership is safe.
+				node.AddPeer(m.Name, client)
 			}
 			if err := srv.Register("NS", replica.NewGroupNSService(group)); err != nil {
 				log.Fatalf("nsd: %v", err)

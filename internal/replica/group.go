@@ -331,7 +331,8 @@ func (g *Group) ApplyTraced(inner core.Update, sc obs.SpanContext) error {
 // ApplyBatch commits a batch locally through one epoch barrier and acks
 // once the write quorum holds the whole batch. Prefix semantics follow
 // core.Store.ApplyBatch: on a batch error the committed prefix still fans
-// out (and is quorum-waited) and the batch error is returned.
+// out (and is quorum-waited) and the batch error is returned; if the
+// quorum wait fails too, the errors are joined so the caller sees both.
 func (g *Group) ApplyBatch(inners []core.Update) error {
 	return g.applyAll(inners, obs.SpanContext{})
 }
@@ -373,7 +374,10 @@ func (g *Group) applyAll(inners []core.Update, sc obs.SpanContext) error {
 		g.kickAE()
 	}
 	if err := g.awaitQuorum(last, committed); err != nil {
-		return err
+		// Surface both failures: the caller must learn that the suffix was
+		// never committed anywhere (batchErr) AND that even the committed
+		// prefix is not quorum-durable (err).
+		return errors.Join(err, batchErr)
 	}
 	return batchErr
 }
@@ -483,9 +487,16 @@ func (g *Group) pusher(ms *memberState) {
 		var reply PushReply
 		err := ms.client.CallRetry("Replica.Push", &PushArgs{Entries: batch}, &reply, g.cfg.PushPolicy)
 		g.m.pushes.Inc()
+		// The ack is the member's post-apply slot for OUR origin (stream
+		// batches are all local-origin entries); prefer the replied vector
+		// over Seq, which only names the last entry's origin.
+		acked := reply.Seq
+		if reply.Vector != nil {
+			acked = reply.Vector[g.node.Name()]
+		}
 		g.mu.Lock()
 		switch {
-		case err != nil, reply.Seq < last:
+		case err != nil, acked < last:
 			if !ms.lagging {
 				ms.lagging = true
 				g.m.laggards.Add(1)
@@ -494,8 +505,8 @@ func (g *Group) pusher(ms *memberState) {
 			g.mu.Unlock()
 			g.kickAE()
 		default:
-			if reply.Seq > ms.acked {
-				ms.acked = reply.Seq
+			if acked > ms.acked {
+				ms.acked = acked
 				g.cond.Broadcast()
 			}
 			g.mu.Unlock()
@@ -633,7 +644,16 @@ func (g *Group) repairRound(ms *memberState) (uint64, error) {
 	if err := ms.client.CallRetry("Replica.Push", args, &reply, g.cfg.SyncPolicy); err != nil {
 		return 0, err
 	}
-	return reply.Seq, nil
+	// Repair batches are multi-origin and (origin, seq)-sorted, so
+	// reply.Seq may name ANOTHER origin's slot; trusting it here would
+	// inflate ms.acked and let awaitQuorum count acks the member never
+	// received. Only the member's replied vector slot for our own origin
+	// is an ack of local seqs; without a vector, fall back to the slot
+	// the member proved before the push rather than guess.
+	if reply.Vector != nil {
+		return reply.Vector[origin], nil
+	}
+	return vec.Vector[origin], nil
 }
 
 // MarkLagging forces a member onto the anti-entropy path (test hook and

@@ -173,6 +173,43 @@ func TestGroupLaggardRepair(t *testing.T) {
 	}
 }
 
+func TestRepairRoundMultiOriginAck(t *testing.T) {
+	// Any member may originate writes, so a repair batch can mix origins —
+	// and missingFrom sorts it by (origin, seq), so the last entry's slot
+	// may belong to a foreign origin numerically ahead of ours. The round
+	// must report the member's slot for OUR origin, not the last entry's:
+	// an inflated ack would let awaitQuorum count the member for local
+	// seqs it never received.
+	gc := makeGroup(t, 2, "a", "b")
+	svcA := NewService(gc.primary)
+	var entries []Entry
+	for i := 1; i <= 5; i++ {
+		parts, _ := nameserver.SplitPath(fmt.Sprintf("z/k%d", i))
+		entries = append(entries, Entry{Origin: "z", Seq: uint64(i), Stamp: uint64(i), Inner: &nameserver.SetValue{Path: parts, Value: "v"}})
+	}
+	var pr PushReply
+	if err := svcA.Push(&PushArgs{Entries: entries}, &pr, obs.SpanContext{}); err != nil {
+		t.Fatal(err)
+	}
+	// W=2: Set returns only once b holds it, so b's slot for a is exactly
+	// 1 while it still lacks every z entry.
+	if err := gc.group.Set("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	ms := gc.group.members[0]
+	repairedTo, err := gc.group.repairRound(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repairedTo != 1 {
+		t.Fatalf("repairedTo = %d, want 1 (member b's slot for origin a, not origin z's %d)", repairedTo, 5)
+	}
+	vec, err := gc.members[0].Vector()
+	if err != nil || vec["z"] != 5 || vec["a"] != 1 {
+		t.Fatalf("member vector after repair = %v, %v; want z=5 a=1", vec, err)
+	}
+}
+
 func TestGroupBoundedStalenessRead(t *testing.T) {
 	gc := makeGroup(t, 2, "a", "b", "c")
 	for i := 0; i < 5; i++ {
@@ -226,6 +263,27 @@ func TestServiceReadCatchUp(t *testing.T) {
 	}
 	if reply.Value != "1" || reply.Frontier < 1 {
 		t.Fatalf("reply = %+v", reply)
+	}
+	if reply.Stale {
+		t.Fatalf("caught-up reply marked stale: %+v", reply)
+	}
+}
+
+func TestServiceReadStaleReply(t *testing.T) {
+	// A member that cannot reach the floor even after catch-up answers
+	// with the structured Stale flag and its observed frontier — not a
+	// wire error, which would arrive as an unmatchable string.
+	c := makeCluster(t, "a", "b")
+	if err := c.nodes[0].Set("x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	svcB := NewService(c.nodes[1])
+	var reply ReadReply
+	if err := svcB.Read(&ReadArgs{Name: "x", MinSeq: 100}, &reply); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reply.Stale || reply.Frontier >= 100 || reply.Node != "b" || reply.Value != "" {
+		t.Fatalf("reply = %+v, want Stale with frontier < 100 from b and no value", reply)
 	}
 }
 

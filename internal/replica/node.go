@@ -3,7 +3,6 @@ package replica
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
@@ -462,15 +461,12 @@ func lookupTree(t *nameserver.Tree, parts []string) (string, error) {
 // catch the member up or redirect to a fresher one.
 var ErrStale = errors.New("replica: member frontier below requested MinSeq")
 
-// IsStale reports whether err marks a stale bounded-staleness read. Typed
-// errors do not survive the RPC wire (a remote handler error arrives as a
-// string-form ServerError), so this matches both the local sentinel and
-// its wire form.
+// IsStale reports whether err marks a stale bounded-staleness read from a
+// local member. Remote enquiries do not surface staleness as an error at
+// all — typed errors would not survive the RPC wire — so Service.Read
+// answers with ReadReply.Stale set instead; RPC clients check that flag.
 func IsStale(err error) bool {
-	if err == nil {
-		return false
-	}
-	return errors.Is(err, ErrStale) || strings.Contains(err.Error(), "member frontier below requested MinSeq")
+	return errors.Is(err, ErrStale)
 }
 
 // Frontier reports the node's durable read frontier: the sum of its version
@@ -761,16 +757,21 @@ type PushArgs struct {
 
 // PushReply reports how many entries were newly applied, which node
 // applied them, and how long the remote apply took — the origin echoes
-// Node/ApplyNS into its trace as the remote half of the push. Seq is the
-// member's post-apply vector slot for the pushed origin: quorum commit
-// counts an ack only when Seq covers the pushed entries, because a push
-// that races ahead of its predecessors is silently skipped as a sequence
-// gap (applied = 0, no error) and must not count.
+// Node/ApplyNS into its trace as the remote half of the push. Vector is
+// the member's full post-apply version vector: it is the authoritative
+// per-origin ack, and quorum commit counts an ack only when the pusher's
+// own slot in it covers the pushed entries, because a push that races
+// ahead of its predecessors is silently skipped as a sequence gap
+// (applied = 0, no error) and must not count. Seq duplicates the slot for
+// the origin of the last pushed entry — only meaningful for single-origin
+// batches; multi-origin pushers (anti-entropy repair) must read Vector,
+// since a (origin, seq)-sorted batch can end on another origin's slot.
 type PushReply struct {
 	Applied int
 	Node    string
 	ApplyNS int64
 	Seq     uint64
+	Vector  map[string]uint64
 }
 
 // Push applies propagated updates. It takes the rpc layer's span context,
@@ -782,14 +783,11 @@ func (s *Service) Push(args *PushArgs, reply *PushReply, sc obs.SpanContext) err
 	reply.Applied = applied
 	reply.Node = s.node.name
 	reply.ApplyNS = int64(time.Since(start))
-	if len(args.Entries) > 0 {
-		origin := args.Entries[len(args.Entries)-1].Origin
-		_ = s.node.store.View(func(root any) error {
-			if r, rerr := rootOf(root); rerr == nil {
-				reply.Seq = r.Vector[origin]
-			}
-			return nil
-		})
+	if vec, verr := s.node.Vector(); verr == nil {
+		reply.Vector = vec
+		if len(args.Entries) > 0 {
+			reply.Seq = vec[args.Entries[len(args.Entries)-1].Origin]
+		}
 	}
 	return err
 }
@@ -902,17 +900,22 @@ type ReadArgs struct {
 }
 
 // ReadReply carries the value and the durable frontier seq the read
-// reflects — the staleness witness a client uses to ratchet MinSeq.
+// reflects — the staleness witness a client uses to ratchet MinSeq. Stale
+// is the structured wire form of ErrStale: the member's frontier (echoed
+// in Frontier) never reached the caller's MinSeq floor, no value was
+// read, and the client should redirect to a fresher member.
 type ReadReply struct {
 	Value    string
 	Frontier uint64
 	Node     string
+	Stale    bool
 }
 
 // Read serves a bounded-staleness enquiry. A member behind the MinSeq
 // floor first tries to catch itself up with one anti-entropy round against
-// each of its peers; if still behind it fails with ErrStale (in wire form —
-// match with IsStale) so the client can redirect to a fresher member.
+// each of its peers; if still behind it answers with Stale set (typed
+// errors do not survive the RPC wire, so staleness is a reply field, not
+// an error) and the client redirects to a fresher member.
 func (s *Service) Read(args *ReadArgs, reply *ReadReply) error {
 	v, frontier, err := s.node.ReadAt(args.Name, args.MinSeq)
 	if IsStale(err) {
@@ -930,6 +933,12 @@ func (s *Service) Read(args *ReadArgs, reply *ReadReply) error {
 				break
 			}
 		}
+	}
+	if IsStale(err) {
+		reply.Frontier = frontier
+		reply.Node = s.node.name
+		reply.Stale = true
+		return nil
 	}
 	if err != nil {
 		return err
